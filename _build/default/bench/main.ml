@@ -1,0 +1,548 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (§6), plus the ablations called out in DESIGN.md.
+
+   Environment knobs:
+     HLP_VECTORS  random simulation vectors per design (default 150;
+                  the paper uses 1000 — set HLP_VECTORS=1000 to match)
+     HLP_WIDTH    datapath word width in bits (default 16)
+     HLP_FAST     if set, restrict the flow tables to the four smaller
+                  benchmarks (pr, wang, honda, mcm) *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module B = Hlp_cdfg.Benchmarks
+module RB = Hlp_core.Reg_binding
+module Bind = Hlp_core.Binding
+module H = Hlp_core.Hlpower
+module L = Hlp_core.Lopass
+module ST = Hlp_core.Sa_table
+module Flow = Hlp_rtl.Flow
+module Stats = Hlp_util.Stats
+
+let vectors =
+  match Sys.getenv_opt "HLP_VECTORS" with
+  | Some s -> int_of_string s
+  | None -> 150
+
+let width =
+  match Sys.getenv_opt "HLP_WIDTH" with
+  | Some s -> int_of_string s
+  | None -> 16
+
+let fast = Sys.getenv_opt "HLP_FAST" <> None
+
+let variants =
+  match Sys.getenv_opt "HLP_VARIANTS" with
+  | Some s -> max 1 (int_of_string s)
+  | None -> 2
+
+let flow_profiles =
+  if fast then List.map B.find [ "pr"; "wang"; "honda"; "mcm" ] else B.all
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Shared per-benchmark preparation, with wall-clock binding times. *)
+type prepared = {
+  profile : B.profile;
+  schedule : Schedule.t;
+  regs : RB.t;
+  lopass : Bind.t;
+  hlp_a1 : Bind.t;
+  hlp_a05 : Bind.t;
+  hlp_seconds : float;
+  iterations : int;
+}
+
+let sa_table = ST.create ~width ~k:4 ()
+
+let now () = Sys.time ()
+
+let prepare ?(variant = 0) profile =
+  let cdfg = B.generate ~variant profile in
+  let resources = B.resources profile in
+  let schedule = Schedule.list_schedule cdfg ~resources in
+  let regs = RB.bind (Lifetime.analyze schedule) in
+  let min_res cls = max 1 (Schedule.max_density schedule cls) in
+  let lopass = L.bind ~regs ~resources schedule in
+  let run_hlp alpha =
+    let params = H.calibrate ~alpha sa_table in
+    H.bind ~params ~sa_table ~regs ~resources:min_res schedule
+  in
+  let t0 = now () in
+  let r05 = run_hlp 0.5 in
+  let hlp_seconds = now () -. t0 in
+  let r1 = run_hlp 1.0 in
+  {
+    profile;
+    schedule;
+    regs;
+    lopass;
+    hlp_a1 = r1.H.binding;
+    hlp_a05 = r05.H.binding;
+    hlp_seconds;
+    iterations = r05.H.iterations;
+  }
+
+let prepared = lazy (List.map prepare B.all)
+
+let find_prepared name =
+  List.find (fun p -> p.profile.B.bench_name = name) (Lazy.force prepared)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: Benchmark Profiles";
+  Printf.printf "%-8s %5s %5s %6s %6s %11s %12s\n" "bench" "PIs" "POs"
+    "adds" "mults" "edges(ours)" "edges(paper)";
+  List.iter
+    (fun p ->
+      let g = B.generate p in
+      Printf.printf "%-8s %5d %5d %6d %6d %11d %12d\n" p.B.bench_name
+        (Cdfg.num_inputs g)
+        (List.length (Cdfg.outputs g))
+        (Cdfg.num_ops_of_class g Cdfg.Add_sub)
+        (Cdfg.num_ops_of_class g Cdfg.Multiplier)
+        (Cdfg.edge_count g) p.B.paper_edges)
+    B.all
+
+let table2 () =
+  section "Table 2: Resource Constraints, Schedule Length, Registers, Runtime";
+  Printf.printf "%-8s %4s %5s | %11s %12s | %10s %11s | %12s %6s\n" "bench"
+    "Add" "Mult" "cycle(ours)" "cycle(paper)" "reg(ours)" "reg(paper)"
+    "bind(s,ours)" "iters";
+  List.iter
+    (fun pr ->
+      let p = pr.profile in
+      Printf.printf "%-8s %4d %5d | %11d %12d | %10d %11d | %12.3f %6d\n"
+        p.B.bench_name p.B.add_units p.B.mult_units
+        pr.schedule.Schedule.num_csteps p.B.paper_cycles
+        (RB.num_regs pr.regs) p.B.paper_regs pr.hlp_seconds pr.iterations)
+    (Lazy.force prepared)
+
+(* Full-flow reports, shared by Table 3 and Figure 3.  Each benchmark is
+   evaluated on [variants] generated instances of its profile and the
+   reports are averaged: individual instances carry a few percent of
+   structural noise, the trends do not. *)
+type avg_report = {
+  power_mw : float;
+  clk_ns : float;
+  luts : float;
+  largest : float;
+  mux_len : float;
+  toggle : float;
+}
+
+type flow_row = { bench : string; lop : avg_report; a1 : avg_report;
+                  a05 : avg_report }
+
+let average reports =
+  let n = float_of_int (List.length reports) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0. reports /. n in
+  {
+    power_mw = sum (fun r -> r.Flow.dynamic_power_mw);
+    clk_ns = sum (fun r -> r.Flow.clock_period_ns);
+    luts = sum (fun r -> float_of_int r.Flow.luts);
+    largest = sum (fun r -> float_of_int r.Flow.largest_mux);
+    mux_len = sum (fun r -> float_of_int r.Flow.mux_length);
+    toggle = sum (fun r -> r.Flow.toggle_rate_mhz);
+  }
+
+let flow_rows =
+  lazy
+    (List.map
+       (fun (p : B.profile) ->
+         let config = { Flow.default_config with Flow.vectors; width } in
+         let runs =
+           List.init variants (fun variant ->
+               Printf.eprintf "[flow] %s variant %d...\n%!" p.B.bench_name
+                 variant;
+               let pr = prepare ~variant p in
+               let run tag b =
+                 Flow.run ~config ~design:(p.B.bench_name ^ tag) b
+               in
+               ( run "-lopass" pr.lopass,
+                 run "-hlp-a1" pr.hlp_a1,
+                 run "-hlp-a05" pr.hlp_a05 ))
+         in
+         {
+           bench = p.B.bench_name;
+           lop = average (List.map (fun (a, _, _) -> a) runs);
+           a1 = average (List.map (fun (_, b, _) -> b) runs);
+           a05 = average (List.map (fun (_, _, c) -> c) runs);
+         })
+       flow_profiles)
+
+let pc a b = Stats.percent_change ~from:a ~to_:b
+
+let table3 () =
+  section
+    (Printf.sprintf
+       "Table 3: Power, Clock Period, LUTs and Multiplexers (LOPASS vs \
+        HLPower alpha=0.5; %d-bit, %d vectors, %d instances/benchmark)"
+       width vectors variants);
+  Printf.printf "%-8s | %17s | %13s | %13s | %9s | %11s | %7s %7s %7s\n"
+    "bench" "dyn power (mW)" "clk (ns)" "LUTs" "lrgstMUX" "MUX length"
+    "dPow%" "dClk%" "dLUT%";
+  let dps = ref [] and dclks = ref [] and dluts = ref [] in
+  let dmux = ref [] and dlen = ref [] in
+  List.iter
+    (fun r ->
+      let l = r.lop and h = r.a05 in
+      let dp = pc l.power_mw h.power_mw in
+      let dc = pc l.clk_ns h.clk_ns in
+      let dl = pc l.luts h.luts in
+      dps := dp :: !dps;
+      dclks := dc :: !dclks;
+      dluts := dl :: !dluts;
+      dmux := (h.largest -. l.largest) :: !dmux;
+      dlen := pc l.mux_len h.mux_len :: !dlen;
+      Printf.printf
+        "%-8s | %8.2f/%8.2f | %6.2f/%6.2f | %6.0f/%6.0f | %4.1f/%4.1f | \
+         %5.0f/%5.0f | %+7.2f %+7.2f %+7.2f\n"
+        r.bench l.power_mw h.power_mw l.clk_ns h.clk_ns l.luts h.luts
+        l.largest h.largest l.mux_len h.mux_len dp dc dl)
+    (Lazy.force flow_rows);
+  Printf.printf
+    "Average change: power %+.2f%%, clock %+.2f%%, LUTs %+.2f%%, largest \
+     mux %+.1f, mux length %+.1f%%\n"
+    (Stats.mean !dps) (Stats.mean !dclks) (Stats.mean !dluts)
+    (Stats.mean !dmux) (Stats.mean !dlen);
+  Printf.printf
+    "Paper reports (avg): power -19.28%%, clock +0.58%%, LUTs -9.11%%, \
+     largest mux -2.6, mux length -7.2%%\n"
+
+let table4 () =
+  section "Table 4: muxDiff mean/variance across allocated resources";
+  Printf.printf "%-8s | %-13s | %-13s | %-13s | %7s\n" "bench" "LOPASS"
+    "HLP alpha=1" "HLP alpha=0.5" "# muxes";
+  let ml = ref [] and m1 = ref [] and m05 = ref [] in
+  let vl = ref [] and v1 = ref [] and v05 = ref [] in
+  List.iter
+    (fun pr ->
+      let st b = Bind.mux_stats b in
+      let sl = st pr.lopass and s1 = st pr.hlp_a1 and s5 = st pr.hlp_a05 in
+      ml := sl.Bind.fu_mux_diff_mean :: !ml;
+      m1 := s1.Bind.fu_mux_diff_mean :: !m1;
+      m05 := s5.Bind.fu_mux_diff_mean :: !m05;
+      vl := sl.Bind.fu_mux_diff_var :: !vl;
+      v1 := s1.Bind.fu_mux_diff_var :: !v1;
+      v05 := s5.Bind.fu_mux_diff_var :: !v05;
+      Printf.printf
+        "%-8s | %5.2f / %5.2f | %5.2f / %5.2f | %5.2f / %5.2f | %7d\n"
+        pr.profile.B.bench_name sl.Bind.fu_mux_diff_mean
+        sl.Bind.fu_mux_diff_var s1.Bind.fu_mux_diff_mean
+        s1.Bind.fu_mux_diff_var s5.Bind.fu_mux_diff_mean
+        s5.Bind.fu_mux_diff_var s5.Bind.num_fu)
+    (Lazy.force prepared);
+  Printf.printf "%-8s | %5.2f / %5.2f | %5.2f / %5.2f | %5.2f / %5.2f |\n"
+    "average" (Stats.mean !ml) (Stats.mean !vl) (Stats.mean !m1)
+    (Stats.mean !v1) (Stats.mean !m05) (Stats.mean !v05);
+  Printf.printf
+    "Paper reports (avg): LOPASS 3.9/13.8, alpha=1 3.2/8.3, alpha=0.5 \
+     2.6/6.2\n"
+
+let figure3 () =
+  section "Figure 3: Average Toggle Rate (millions of transitions / sec)";
+  Printf.printf "%-8s %10s %12s %14s %9s\n" "bench" "LOPASS" "HLP a=1.0"
+    "HLP a=0.5" "d(a=0.5)";
+  let bar v = String.make (max 1 (int_of_float (Float.min 40. (v *. 2.)))) '#' in
+  let deltas1 = ref [] and deltas05 = ref [] in
+  List.iter
+    (fun r ->
+      let tl = r.lop.toggle in
+      let t1 = r.a1.toggle in
+      let t05 = r.a05.toggle in
+      deltas1 := pc tl t1 :: !deltas1;
+      deltas05 := pc tl t05 :: !deltas05;
+      Printf.printf "%-8s %10.2f %12.2f %14.2f %+8.2f%%\n" r.bench tl t1 t05
+        (pc tl t05);
+      Printf.printf "  LOPASS  %s\n  a=1.0   %s\n  a=0.5   %s\n" (bar tl)
+        (bar t1) (bar t05))
+    (Lazy.force flow_rows);
+  Printf.printf
+    "Average toggle-rate change vs LOPASS: alpha=1.0 %+.2f%%, alpha=0.5 \
+     %+.2f%%\n"
+    (Stats.mean !deltas1) (Stats.mean !deltas05);
+  Printf.printf "Paper reports (avg): alpha=1.0 -8.4%%, alpha=0.5 -21.9%%\n"
+
+let alpha_sweep () =
+  section "Alpha sweep (sec. 6.2 discussion): wang, alpha in {1 .. 0}";
+  let pr = find_prepared "wang" in
+  let min_res cls = max 1 (Schedule.max_density pr.schedule cls) in
+  Printf.printf "%-6s %12s %10s %8s %10s %12s\n" "alpha" "muxDiff" "muxLen"
+    "LUTs" "toggleM/s" "power(mW)";
+  List.iter
+    (fun alpha ->
+      let params = H.calibrate ~alpha sa_table in
+      let b =
+        (H.bind ~params ~sa_table ~regs:pr.regs ~resources:min_res
+           pr.schedule)
+          .H.binding
+      in
+      let s = Bind.mux_stats b in
+      let config =
+        { Flow.default_config with Flow.vectors = min vectors 100; width }
+      in
+      let r = Flow.run ~config ~design:"wang-sweep" b in
+      Printf.printf "%-6.2f %12.2f %10d %8d %10.2f %12.2f\n" alpha
+        s.Bind.fu_mux_diff_mean s.Bind.mux_length r.Flow.luts
+        r.Flow.toggle_rate_mhz r.Flow.dynamic_power_mw)
+    [ 1.0; 0.75; 0.5; 0.25; 0.0 ]
+
+let ablation_k () =
+  section "Ablation: LUT size K (mapper substrate, partial datapath cells)";
+  Printf.printf "%-18s %6s %8s %8s %8s\n" "cell" "K" "LUTs" "depth" "est SA";
+  List.iter
+    (fun (cls, l, r) ->
+      List.iter
+        (fun k ->
+          let net =
+            Hlp_netlist.Cell_library.partial_datapath
+              ~fu:
+                (match cls with
+                | Cdfg.Add_sub -> Hlp_netlist.Cell_library.Adder
+                | Cdfg.Multiplier -> Hlp_netlist.Cell_library.Multiplier)
+              ~width ~left_inputs:l ~right_inputs:r ()
+          in
+          let m = Hlp_mapper.Mapper.map net ~k in
+          Printf.printf "%-18s %6d %8d %8d %8.1f\n"
+            (Printf.sprintf "%s(%d,%d)" (Cdfg.class_to_string cls) l r)
+            k m.Hlp_mapper.Mapper.lut_count m.Hlp_mapper.Mapper.depth
+            m.Hlp_mapper.Mapper.total_sa)
+        [ 4; 6 ])
+    [ (Cdfg.Add_sub, 4, 4); (Cdfg.Multiplier, 3, 2) ]
+
+let ablation_table_vs_dynamic () =
+  section "Ablation: precalculated SA table vs dynamic estimation (sec 5.2.2)";
+  (* The paper notes table-driven lookup gives the same bindings as dynamic
+     estimation, only faster.  Our Sa_table computes lazily with
+     memoization, so "dynamic" = a fresh, cold table; bindings must
+     coincide and the warm run must be faster. *)
+  let pr = find_prepared "pr" in
+  let min_res cls = max 1 (Schedule.max_density pr.schedule cls) in
+  let bind_with table =
+    let params = H.calibrate ~alpha:0.5 table in
+    (H.bind ~params ~sa_table:table ~regs:pr.regs ~resources:min_res
+       pr.schedule)
+      .H.binding
+  in
+  let fresh = ST.create ~width ~k:4 () in
+  let t0 = now () in
+  let b_dynamic = bind_with fresh in
+  let t_dynamic = now () -. t0 in
+  let t1 = now () in
+  let b_cached = bind_with sa_table (* warm *) in
+  let t_cached = now () -. t1 in
+  let groups b =
+    List.map (fun f -> (f.Bind.fu_class, f.Bind.fu_ops)) b.Bind.fus
+  in
+  Printf.printf "identical bindings: %b\n"
+    (List.sort compare (groups b_dynamic)
+    = List.sort compare (groups b_cached));
+  Printf.printf "cold (dynamic) %.3f s vs warm (table) %.3f s\n" t_dynamic
+    t_cached
+
+let ablation_objective () =
+  section "Ablation: glitch-aware (Min_sa) vs conventional (Min_depth) \
+           mapping";
+  let pr = find_prepared "pr" in
+  let base =
+    { Flow.default_config with Flow.vectors = min vectors 100; width }
+  in
+  List.iter
+    (fun (label, objective) ->
+      let config = { base with Flow.objective } in
+      let r = Flow.run ~config ~design:("pr-" ^ label) pr.hlp_a05 in
+      Printf.printf
+        "%-10s LUTs %5d depth %3d est SA %9.1f toggle %.2f M/s power %.2f \
+         mW\n"
+        label r.Flow.luts r.Flow.depth r.Flow.est_total_sa
+        r.Flow.toggle_rate_mhz r.Flow.dynamic_power_mw)
+    [
+      ("min-sa", Hlp_mapper.Mapper.Min_sa);
+      ("min-depth", Hlp_mapper.Mapper.Min_depth);
+    ]
+
+let ablation_multicycle () =
+  section
+    "Ablation: multi-cycle multiplier (sec 5.2.1, no Theorem-1 guarantee)";
+  let latency = function Cdfg.Mult -> 2 | Cdfg.Add | Cdfg.Sub -> 1 in
+  let p = B.find "pr" in
+  let g = B.generate p in
+  let resources = B.resources p in
+  let schedule = Schedule.list_schedule ~latency g ~resources in
+  let regs = RB.bind (Lifetime.analyze schedule) in
+  match
+    H.bind
+      ~params:(H.calibrate ~alpha:0.5 sa_table)
+      ~sa_table ~regs ~resources schedule
+  with
+  | r ->
+      Printf.printf
+        "pr with 2-cycle multiplier: schedule %d steps (vs %d \
+         single-cycle), %d add-FU + %d mult-FU, %d promotions, valid: %b\n"
+        schedule.Schedule.num_csteps
+        (find_prepared "pr").schedule.Schedule.num_csteps
+        (Bind.num_fus r.H.binding Cdfg.Add_sub)
+        (Bind.num_fus r.H.binding Cdfg.Multiplier)
+        r.H.promoted
+        (try
+           Bind.validate r.H.binding;
+           true
+         with Failure _ -> false)
+  | exception Failure msg ->
+      (* The paper makes no guarantee here (sec 5.2.1); report and move
+         on. *)
+      Printf.printf "pr with 2-cycle multiplier: binding failed (%s)\n" msg
+
+let ablation_module_select () =
+  section
+    "Ablation: module selection (sec 7 future work): ripple vs \
+     carry-select adders";
+  (* Flow always elaborates ripple adders; here the datapath is built with
+     the selected implementations and pushed through mapping + simulation
+     directly. *)
+  let pr = find_prepared "pr" in
+  let evaluate tag impls =
+    let dp = Hlp_rtl.Datapath.build ?adder_impls:impls ~width pr.hlp_a05 in
+    let elab = Hlp_rtl.Elaborate.elaborate dp in
+    let mapping = Hlp_mapper.Mapper.map elab.Hlp_rtl.Elaborate.netlist ~k:4 in
+    let sim_config =
+      { Hlp_rtl.Sim.vectors = min vectors 100; seed = "ms"; check = true }
+    in
+    let sim =
+      Hlp_rtl.Sim.run ~config:sim_config elab
+        ~network:mapping.Hlp_mapper.Mapper.lut_network
+    in
+    let power =
+      Hlp_rtl.Power.analyze Hlp_rtl.Power.default_model
+        ~network:mapping.Hlp_mapper.Mapper.lut_network ~sim
+    in
+    Printf.printf
+      "%-22s LUTs %5d, depth %3d, clk %6.2f ns, power %6.3f mW\n" tag
+      mapping.Hlp_mapper.Mapper.lut_count mapping.Hlp_mapper.Mapper.depth
+      power.Hlp_rtl.Power.clock_period_ns power.Hlp_rtl.Power.dynamic_power_mw
+  in
+  evaluate "pr all-ripple" None;
+  let impls =
+    Hlp_core.Module_select.choose ~width ~k:4
+      ~objective:Hlp_core.Module_select.Min_delay pr.hlp_a05
+  in
+  evaluate "pr min-delay selection" (Some impls)
+
+let ablation_port_assign () =
+  section
+    "Ablation: commutative port assignment [2] post-pass (both binders)";
+  let config =
+    { Flow.default_config with Flow.vectors = min vectors 100; width }
+  in
+  List.iter
+    (fun name ->
+      let pr = find_prepared name in
+      List.iter
+        (fun (tag, b) ->
+          let show label b =
+            let s = Bind.mux_stats b in
+            let r = Flow.run ~config ~design:(name ^ "-" ^ label) b in
+            Printf.printf
+              "%-6s %-18s mux length %4d, muxDiff %.2f, toggle %6.2f \
+               M/s, power %.3f mW\n"
+              name label s.Bind.mux_length s.Bind.fu_mux_diff_mean
+              r.Flow.toggle_rate_mhz r.Flow.dynamic_power_mw
+          in
+          show tag b;
+          show (tag ^ "+portassign")
+            (Hlp_core.Port_assign.optimize
+               ~objective:Hlp_core.Port_assign.Min_inputs b))
+        [ ("lopass", pr.lopass); ("hlpower", pr.hlp_a05) ])
+    [ "pr"; "mcm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure, timing the
+   compute kernel that regenerates it. *)
+
+let bechamel_section () =
+  section "Bechamel micro-benchmarks (kernel timings)";
+  let open Bechamel in
+  let pr = find_prepared "wang" in
+  let min_res cls = max 1 (Schedule.max_density pr.schedule cls) in
+  let wang = B.find "wang" in
+  let t_generate =
+    Test.make ~name:"table1-generate-cdfg"
+      (Staged.stage (fun () -> ignore (B.generate wang)))
+  in
+  let g = B.generate wang in
+  let t_schedule =
+    Test.make ~name:"table2-list-schedule"
+      (Staged.stage (fun () ->
+           ignore (Schedule.list_schedule g ~resources:(B.resources wang))))
+  in
+  let t_hlpower =
+    Test.make ~name:"table3-hlpower-bind"
+      (Staged.stage (fun () ->
+           ignore
+             (H.bind
+                ~params:(H.calibrate ~alpha:0.5 sa_table)
+                ~sa_table ~regs:pr.regs ~resources:min_res pr.schedule)))
+  in
+  let t_lopass =
+    Test.make ~name:"table3-lopass-bind"
+      (Staged.stage (fun () ->
+           ignore
+             (L.bind ~regs:pr.regs
+                ~resources:(B.resources pr.profile)
+                pr.schedule)))
+  in
+  let t_muxstats =
+    Test.make ~name:"table4-mux-stats"
+      (Staged.stage (fun () -> ignore (Bind.mux_stats pr.hlp_a05)))
+  in
+  let sa_net =
+    Hlp_netlist.Cell_library.partial_datapath
+      ~fu:Hlp_netlist.Cell_library.Adder ~width:8 ~left_inputs:3
+      ~right_inputs:2 ()
+  in
+  let t_sa =
+    Test.make ~name:"fig3-glitch-aware-mapping"
+      (Staged.stage (fun () -> ignore (Hlp_mapper.Mapper.map sa_net ~k:4)))
+  in
+  let tests =
+    [ t_generate; t_schedule; t_hlpower; t_lopass; t_muxstats; t_sa ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-30s %14.1f ns/run\n" name est
+          | _ -> Printf.printf "%-30s (no estimate)\n" name)
+        analyzed)
+    tests
+
+let () =
+  Printf.printf "HLPower evaluation harness (width=%d bits, vectors=%d%s)\n"
+    width vectors
+    (if fast then ", fast subset" else "");
+  table1 ();
+  table2 ();
+  table4 ();
+  table3 ();
+  figure3 ();
+  alpha_sweep ();
+  ablation_k ();
+  ablation_table_vs_dynamic ();
+  ablation_objective ();
+  ablation_multicycle ();
+  ablation_port_assign ();
+  ablation_module_select ();
+  bechamel_section ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,269 @@
+(* Command-line driver: run any benchmark through either binder and the
+   full evaluation flow, and dump the artifacts (VHDL, BLIF, SA table). *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Lopass = Hlp_core.Lopass
+module Datapath = Hlp_rtl.Datapath
+module Vhdl = Hlp_rtl.Vhdl
+module Flow = Hlp_rtl.Flow
+module Blif = Hlp_netlist.Blif
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+(* --- list command --- *)
+
+let list_cmd =
+  let doc = "List the benchmark profiles (Table 1 / Table 2 of the paper)" in
+  let run () =
+    Printf.printf "%-8s %4s %4s %5s %6s %6s | %4s %5s %6s %4s\n" "bench"
+      "PIs" "POs" "adds" "mults" "edges" "addU" "multU" "cycles" "regs";
+    List.iter
+      (fun p ->
+        let g = Benchmarks.generate p in
+        Printf.printf "%-8s %4d %4d %5d %6d %6d | %4d %5d %6d %4d\n"
+          p.Benchmarks.bench_name p.Benchmarks.num_pis p.Benchmarks.num_pos
+          p.Benchmarks.num_adds p.Benchmarks.num_mults (Cdfg.edge_count g)
+          p.Benchmarks.add_units p.Benchmarks.mult_units
+          p.Benchmarks.paper_cycles p.Benchmarks.paper_regs)
+      Benchmarks.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- bind command --- *)
+
+let bench_arg =
+  let doc = "Benchmark name (chem, dir, honda, mcm, pr, steam, wang)." in
+  Arg.(required & opt (some string) None & info [ "b"; "bench" ] ~doc)
+
+let binder_arg =
+  let doc = "Binding algorithm: hlpower or lopass." in
+  Arg.(value & opt string "hlpower" & info [ "binder" ] ~doc)
+
+let alpha_arg =
+  let doc = "Eq. 4 weighting coefficient alpha (HLPower only)." in
+  Arg.(value & opt float 0.5 & info [ "alpha" ] ~doc)
+
+let width_arg =
+  let doc = "Datapath word width in bits." in
+  Arg.(value & opt int 8 & info [ "width" ] ~doc)
+
+let vectors_arg =
+  let doc = "Random simulation vectors." in
+  Arg.(value & opt int 100 & info [ "vectors" ] ~doc)
+
+let vhdl_arg =
+  let doc = "Write the bound design as VHDL to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "vhdl" ] ~docv:"FILE" ~doc)
+
+let blif_arg =
+  let doc = "Write the elaborated gate netlist as BLIF to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "blif" ] ~docv:"FILE" ~doc)
+
+let sa_table_arg =
+  let doc = "Persist the precalculated SA table to $(docv) (reused if it \
+             exists)." in
+  Arg.(value & opt (some string) None & info [ "sa-table" ] ~docv:"FILE" ~doc)
+
+let testbench_arg =
+  let doc = "Write a self-checking VHDL testbench to $(docv) (requires \
+             --vhdl for the matching design)." in
+  Arg.(value & opt (some string) None & info [ "testbench" ] ~docv:"FILE" ~doc)
+
+let port_assign_arg =
+  let doc = "Apply the commutative port-assignment post-pass [2] to the \
+             binding before evaluation." in
+  Arg.(value & flag & info [ "port-assign" ] ~doc)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let prepare bench =
+  let p = Benchmarks.find bench in
+  let cdfg = Benchmarks.generate p in
+  let resources = Benchmarks.resources p in
+  let schedule = Schedule.list_schedule cdfg ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  (p, schedule, regs)
+
+let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
+    port_assign testbench_out verbose =
+  setup_logs verbose;
+  try
+    let p, schedule, regs = prepare bench in
+    let binding =
+      match binder with
+      | "lopass" ->
+          Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule
+      | "hlpower" ->
+          let sa_table =
+            match sa_path with
+            | Some path when Sys.file_exists path -> Sa_table.load path
+            | _ -> Sa_table.create ~width ~k:4 ()
+          in
+          let params = Hlpower.calibrate ~alpha sa_table in
+          let r =
+            Hlpower.bind ~params ~sa_table ~regs
+              ~resources:(fun cls ->
+                max 1 (Schedule.max_density schedule cls))
+              schedule
+          in
+          (match sa_path with
+          | Some path -> Sa_table.save sa_table path
+          | None -> ());
+          Logs.info (fun m ->
+              m "hlpower: %d iterations, %d promotions" r.Hlpower.iterations
+                r.Hlpower.promoted);
+          r.Hlpower.binding
+      | other -> failwith ("unknown binder: " ^ other)
+    in
+    let binding =
+      if port_assign then Hlp_core.Port_assign.optimize binding else binding
+    in
+    Binding.validate binding;
+    Format.printf "binding: %a@." Binding.pp_summary binding;
+    let config = { Flow.default_config with Flow.width; vectors } in
+    let report =
+      Flow.run ~config ~design:(bench ^ "-" ^ binder) binding
+    in
+    Format.printf "%a@." Flow.pp_report report;
+    (match vhdl_out with
+    | Some path ->
+        let dp = Datapath.build ~width binding in
+        Vhdl.write_file dp ~name:bench path;
+        Format.printf "wrote VHDL to %s@." path
+    | None -> ());
+    (match testbench_out with
+    | Some path ->
+        let dp = Datapath.build ~width binding in
+        Vhdl.write_testbench dp ~name:bench ~vectors:(min vectors 50)
+          ~seed:"tb" path;
+        Format.printf "wrote testbench to %s@." path
+    | None -> ());
+    (match blif_out with
+    | Some path ->
+        let dp = Datapath.build ~width binding in
+        let elab = Hlp_rtl.Elaborate.elaborate dp in
+        Blif.output_file elab.Hlp_rtl.Elaborate.netlist path;
+        Format.printf "wrote BLIF to %s@." path
+    | None -> ());
+    0
+  with
+  | (Failure msg | Invalid_argument msg) ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Not_found ->
+      Format.eprintf "error: unknown benchmark %s@." bench;
+      1
+
+let bind_cmd =
+  let doc = "Bind a benchmark and run the full evaluation flow" in
+  Cmd.v
+    (Cmd.info "bind" ~doc)
+    Term.(
+      const run_bind $ bench_arg $ binder_arg $ alpha_arg $ width_arg
+      $ vectors_arg $ vhdl_arg $ blif_arg $ sa_table_arg $ port_assign_arg
+      $ testbench_arg $ verbose_arg)
+
+(* --- compare command --- *)
+
+let run_compare bench width vectors verbose =
+  setup_logs verbose;
+  try
+    let p, schedule, regs = prepare bench in
+    let lop = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
+    let sa_table = Sa_table.create ~width ~k:4 () in
+    let min_res cls = max 1 (Schedule.max_density schedule cls) in
+    let hlp cfg_alpha =
+      let params = Hlpower.calibrate ~alpha:cfg_alpha sa_table in
+      (Hlpower.bind ~params ~sa_table ~regs ~resources:min_res schedule)
+        .Hlpower.binding
+    in
+    let config = { Flow.default_config with Flow.width; vectors } in
+    let report name binding =
+      let r = Flow.run ~config ~design:name binding in
+      Format.printf "%a@." Flow.pp_report r;
+      r
+    in
+    let rl = report (bench ^ "-lopass") lop in
+    let r1 = report (bench ^ "-hlpower-a1.0") (hlp 1.0) in
+    let r5 = report (bench ^ "-hlpower-a0.5") (hlp 0.5) in
+    let pc a b = Hlp_util.Stats.percent_change ~from:a ~to_:b in
+    Format.printf
+      "change vs LOPASS: alpha=1.0 power %+.1f%%, alpha=0.5 power %+.1f%%, \
+       alpha=0.5 toggle %+.1f%%, alpha=0.5 LUTs %+.1f%%@."
+      (pc rl.Flow.dynamic_power_mw r1.Flow.dynamic_power_mw)
+      (pc rl.Flow.dynamic_power_mw r5.Flow.dynamic_power_mw)
+      (pc rl.Flow.toggle_rate_mhz r5.Flow.toggle_rate_mhz)
+      (pc (float_of_int rl.Flow.luts) (float_of_int r5.Flow.luts));
+    0
+  with
+  | (Failure msg | Invalid_argument msg) ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Not_found ->
+      Format.eprintf "error: unknown benchmark %s@." bench;
+      1
+
+(* --- explore command --- *)
+
+let run_explore bench width vectors verbose =
+  setup_logs verbose;
+  try
+    let p = Benchmarks.find bench in
+    let cdfg = Benchmarks.generate p in
+    let config =
+      { Hlp_hls.Explore.default_config with
+        Hlp_hls.Explore.width; vectors }
+    in
+    let points = Hlp_hls.Explore.sweep ~config cdfg in
+    let front = Hlp_hls.Explore.pareto points in
+    Format.printf "%d design points, %d on the Pareto frontier:@."
+      (List.length points) (List.length front);
+    List.iter
+      (fun pt ->
+        let starred = List.memq pt front in
+        Format.printf "%s %a@." (if starred then "*" else " ")
+          Hlp_hls.Explore.pp_point pt)
+      points;
+    0
+  with
+  | (Failure msg | Invalid_argument msg) ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Not_found ->
+      Format.eprintf "error: unknown benchmark %s@." bench;
+      1
+
+let explore_cmd =
+  let doc = "Sweep allocations and alpha; report the Pareto frontier \
+             (latency, power, LUTs)" in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(const run_explore $ bench_arg $ width_arg $ vectors_arg
+          $ verbose_arg)
+
+let compare_cmd =
+  let doc = "Compare LOPASS vs HLPower (alpha = 1.0 and 0.5) on a benchmark" in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const run_compare $ bench_arg $ width_arg $ vectors_arg
+          $ verbose_arg)
+
+let main_cmd =
+  let doc = "FPGA-targeted glitch-aware high-level binding (HLPower)" in
+  Cmd.group
+    (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
+    [ list_cmd; bind_cmd; compare_cmd; explore_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/alpha_sweep.ml: Hlp_cdfg Hlp_core Hlp_rtl List Printf

@@ -1,0 +1,1 @@
+examples/dct_pipeline.ml: Format Hlp_cdfg Hlp_core Hlp_rtl Hlp_util List Printf

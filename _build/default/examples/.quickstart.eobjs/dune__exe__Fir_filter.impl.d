@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Hlp_cdfg Hlp_core Hlp_netlist Hlp_rtl Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hlp_cdfg Hlp_core Hlp_rtl List Printf String

@@ -1,0 +1,45 @@
+(* The alpha study of §6.2: sweep Eq. 4's weighting coefficient from pure
+   switching-activity pricing (alpha = 1) to pure multiplexer balancing
+   (alpha = 0) on the 'wang' DCT benchmark, and watch the trade-off
+   between mux balance, area and measured toggle rate.
+
+   Run with:  dune exec examples/alpha_sweep.exe *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Flow = Hlp_rtl.Flow
+
+let () =
+  let profile = Benchmarks.find "wang" in
+  let graph = Benchmarks.generate profile in
+  let resources = Benchmarks.resources profile in
+  let schedule = Schedule.list_schedule graph ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let min_res cls = max 1 (Schedule.max_density schedule cls) in
+  let sa_table = Sa_table.create ~width:16 ~k:4 () in
+  Printf.printf
+    "wang: sweeping alpha (Eq. 4).  alpha = 1 prices merges purely by \
+     glitch-aware SA;\nalpha = 0 purely by multiplexer balance.\n\n";
+  Printf.printf "%-6s %14s %8s %8s %12s %12s\n" "alpha" "muxDiff m/v"
+    "muxLen" "LUTs" "toggle M/s" "power (mW)";
+  List.iter
+    (fun alpha ->
+      let params = Hlpower.calibrate ~alpha sa_table in
+      let binding =
+        (Hlpower.bind ~params ~sa_table ~regs ~resources:min_res schedule)
+          .Hlpower.binding
+      in
+      let s = Binding.mux_stats binding in
+      let config = { Flow.default_config with Flow.vectors = 100 } in
+      let r = Flow.run ~config ~design:"wang-alpha" binding in
+      Printf.printf "%-6.2f %6.2f / %5.2f %8d %8d %12.2f %12.3f\n" alpha
+        s.Binding.fu_mux_diff_mean s.Binding.fu_mux_diff_var
+        s.Binding.mux_length r.Flow.luts r.Flow.toggle_rate_mhz
+        r.Flow.dynamic_power_mw)
+    [ 1.0; 0.75; 0.5; 0.25; 0.0 ]

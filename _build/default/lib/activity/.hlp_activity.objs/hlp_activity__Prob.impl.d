@@ -1,0 +1,1 @@
+lib/activity/prob.ml: Array Hlp_netlist Hlp_util

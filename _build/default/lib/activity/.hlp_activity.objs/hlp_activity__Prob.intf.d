@@ -1,0 +1,1 @@
+lib/activity/prob.mli: Hlp_netlist

@@ -1,0 +1,1 @@
+lib/activity/switching.ml: Array Float Hlp_netlist Hlp_util Prob

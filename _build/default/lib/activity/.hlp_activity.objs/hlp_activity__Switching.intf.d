@@ -1,0 +1,1 @@
+lib/activity/switching.mli: Hlp_netlist

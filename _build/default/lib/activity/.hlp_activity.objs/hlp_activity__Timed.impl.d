@@ -1,0 +1,1 @@
+lib/activity/timed.ml: Array Hlp_netlist Int List Prob Set Switching

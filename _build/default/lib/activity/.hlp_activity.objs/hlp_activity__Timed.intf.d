@@ -1,0 +1,1 @@
+lib/activity/timed.mli: Hlp_netlist Switching

@@ -1,0 +1,34 @@
+module Tt = Hlp_netlist.Truth_table
+module Nl = Hlp_netlist.Netlist
+
+let of_table f probs =
+  let n = Tt.arity f in
+  if Array.length probs <> n then
+    invalid_arg "Prob.of_table: wrong number of probabilities";
+  let total = ref 0. in
+  for m = 0 to (1 lsl n) - 1 do
+    if Tt.eval f m then begin
+      let p = ref 1. in
+      for i = 0 to n - 1 do
+        p := !p *. (if m land (1 lsl i) <> 0 then probs.(i) else 1. -. probs.(i))
+      done;
+      total := !total +. !p
+    end
+  done;
+  (* Summation drift can push the total marginally outside [0, 1]. *)
+  Hlp_util.Stats.clamp ~lo:0. ~hi:1. !total
+
+let node_probabilities t ~input_prob =
+  let probs = Array.make (Nl.num_nodes t) 0.5 in
+  Array.iteri (fun k id -> probs.(id) <- input_prob k) (Nl.inputs t);
+  Array.iter
+    (fun id ->
+      if not (Nl.is_input t id) then begin
+        let n = Nl.node t id in
+        let fanin_probs = Array.map (fun f -> probs.(f)) n.Nl.fanins in
+        probs.(id) <- of_table n.Nl.func fanin_probs
+      end)
+    (Nl.topo_order t);
+  probs
+
+let uniform _ = 0.5

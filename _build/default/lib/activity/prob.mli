@@ -1,0 +1,23 @@
+(** Signal-probability propagation (Najm [17], §4 of the paper).
+
+    The signal probability of a net is the fraction of time it is logic 1.
+    Probabilities are propagated from primary inputs to outputs node by
+    node, assuming fanins are statistically independent, by summing minterm
+    probabilities of each node's local truth table — exact per node under
+    the independence assumption (reconvergent fanout introduces the usual
+    correlation error, which the paper inherits from [12]/[6] as well). *)
+
+(** [of_table f probs] is the probability that [f] evaluates to 1 given
+    independent input-1 probabilities [probs] (one per table input).
+    @raise Invalid_argument if [Array.length probs <> arity f]. *)
+val of_table : Hlp_netlist.Truth_table.t -> float array -> float
+
+(** [node_probabilities t ~input_prob] is the per-node-id signal
+    probability of every net in [t]; [input_prob k] gives the probability
+    of the [k]-th primary input (index into [Netlist.inputs], the paper's
+    default is 0.5 everywhere). *)
+val node_probabilities :
+  Hlp_netlist.Netlist.t -> input_prob:(int -> float) -> float array
+
+(** [uniform _] is the 0.5 input-probability assignment of the paper. *)
+val uniform : int -> float

@@ -1,0 +1,1 @@
+lib/cdfg/benchmarks.ml: Array Cdfg Hashtbl Hlp_util List Option Printf Schedule

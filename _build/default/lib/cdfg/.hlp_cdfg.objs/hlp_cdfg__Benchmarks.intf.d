@@ -1,0 +1,1 @@
+lib/cdfg/benchmarks.mli: Cdfg Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/cdfg.ml: Array List Printf

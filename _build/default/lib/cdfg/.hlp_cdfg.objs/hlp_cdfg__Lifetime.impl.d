@@ -1,0 +1,1 @@
+lib/cdfg/lifetime.ml: Array Cdfg Hashtbl List Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/lifetime.mli: Schedule

@@ -1,0 +1,1 @@
+lib/cdfg/schedule.ml: Array Cdfg Hashtbl List Option Printf

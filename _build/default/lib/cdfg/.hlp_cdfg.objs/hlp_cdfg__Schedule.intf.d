@@ -1,0 +1,1 @@
+lib/cdfg/schedule.mli: Cdfg

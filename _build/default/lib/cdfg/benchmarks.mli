@@ -1,0 +1,65 @@
+(** Benchmark CDFGs.
+
+    The paper evaluates on seven classic HLS benchmarks — DCT kernels
+    ([pr], [wang], [dir]) and DSP programs ([chem], [steam], [mcm],
+    [honda]) — whose CDFGs are not publicly distributed.  Following the
+    substitution policy in DESIGN.md, this module synthesizes
+    deterministic graphs matched to the published Table 1 profiles: exact
+    primary input / primary output / addition / multiplication counts,
+    with operand structure drawn from a seeded generator biased toward
+    the chained, multi-fanout shapes of DSP data flow.  Table 2's
+    per-benchmark resource constraints are carried alongside so the whole
+    experimental configuration is reproducible from one record.
+
+    [fig1] is the worked example of Fig. 1 of the paper (8 ops over 3
+    control steps), with its published schedule. *)
+
+type profile = {
+  bench_name : string;
+  num_pis : int;
+  num_pos : int;
+  num_adds : int;  (** additions/subtractions *)
+  num_mults : int;
+  paper_edges : int;  (** Table 1's edge count, for reporting *)
+  add_units : int;  (** Table 2 resource constraint, adder class *)
+  mult_units : int;  (** Table 2 resource constraint, multiplier class *)
+  paper_cycles : int;  (** Table 2 schedule length, for reporting *)
+  paper_regs : int;  (** Table 2 register count, for reporting *)
+}
+
+(** The seven Table 1/Table 2 rows, in the paper's order: chem, dir,
+    honda, mcm, pr, steam, wang. *)
+val all : profile list
+
+(** [find name] looks a profile up by benchmark name.
+    @raise Not_found for unknown names. *)
+val find : string -> profile
+
+(** [generate ?variant p] synthesizes a CDFG for profile [p].
+    Deterministic: the generator is seeded with the benchmark name and
+    [variant] (default 0).  Distinct variants share the Table 1 profile but
+    differ in operand structure — the evaluation harness averages over
+    several variants to separate algorithmic trends from instance noise. *)
+val generate : ?variant:int -> profile -> Cdfg.t
+
+(** [resources p] is the Table 2 constraint as a function usable with
+    {!Schedule.list_schedule}. *)
+val resources : profile -> Cdfg.fu_class -> int
+
+(** The Fig. 1 example: ops [1+; 2+; 3*] in step 0, [4+; 5*; 6+] in step
+    1, [7*; 8+] in step 2 (ids 0-based here), with its schedule. *)
+val fig1 : unit -> Schedule.t
+
+(** A small FIR-like kernel (for examples/tests): [taps] multiplications
+    feeding an addition tree. *)
+val fir : taps:int -> Cdfg.t
+
+(** A hand-written 4-point DCT butterfly kernel (7 inputs: x0..x3 and the
+    three cosine coefficients; 4 outputs) — the op structure the paper's
+    DCT benchmarks are built from, at didactic scale. *)
+val dct4 : unit -> Cdfg.t
+
+(** A direct-form-I biquad IIR section: inputs x, x[n-1], x[n-2], y[n-1],
+    y[n-2] and the five coefficients; one output.  5 multiplications and
+    4 additions/subtractions. *)
+val biquad : unit -> Cdfg.t

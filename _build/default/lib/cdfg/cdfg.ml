@@ -1,0 +1,115 @@
+type op_kind = Add | Sub | Mult
+type fu_class = Add_sub | Multiplier
+
+let class_of = function Add | Sub -> Add_sub | Mult -> Multiplier
+
+let kind_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mult -> "mult"
+
+let class_to_string = function
+  | Add_sub -> "add"
+  | Multiplier -> "mult"
+
+let all_classes = [ Add_sub; Multiplier ]
+
+type operand = Input of int | Op of int
+
+type op = {
+  id : int;
+  kind : op_kind;
+  left : operand;
+  right : operand;
+}
+
+type t = {
+  name : string;
+  num_inputs : int;
+  ops : op array;
+  outputs : operand list;
+}
+
+let check t =
+  if t.num_inputs < 0 then failwith "Cdfg: negative input count";
+  Array.iteri
+    (fun i o ->
+      if o.id <> i then failwith "Cdfg: op ids must be dense and in order";
+      let check_operand = function
+        | Input k ->
+            if k < 0 || k >= t.num_inputs then
+              failwith (Printf.sprintf "Cdfg: op %d reads unknown input" i)
+        | Op j ->
+            if j < 0 || j >= i then
+              failwith
+                (Printf.sprintf "Cdfg: op %d operand %d not topological" i j)
+      in
+      check_operand o.left;
+      check_operand o.right)
+    t.ops;
+  if t.outputs = [] then failwith "Cdfg: no outputs";
+  List.iter
+    (function
+      | Input k ->
+          if k < 0 || k >= t.num_inputs then
+            failwith "Cdfg: output reads unknown input"
+      | Op j ->
+          if j < 0 || j >= Array.length t.ops then
+            failwith "Cdfg: output reads unknown op")
+    t.outputs
+
+let create ~name ~num_inputs ~ops ~outputs =
+  let t = { name; num_inputs; ops = Array.of_list ops; outputs } in
+  (try check t with Failure m -> invalid_arg m);
+  t
+
+let name t = t.name
+let num_inputs t = t.num_inputs
+let num_ops t = Array.length t.ops
+let ops t = t.ops
+let op t i = t.ops.(i)
+let outputs t = t.outputs
+
+let num_ops_of_class t c =
+  Array.fold_left
+    (fun acc o -> if class_of o.kind = c then acc + 1 else acc)
+    0 t.ops
+
+let consumers t =
+  let res = Array.make (Array.length t.ops) [] in
+  let record id = function
+    | Op j -> res.(j) <- id :: res.(j)
+    | Input _ -> ()
+  in
+  Array.iter
+    (fun o ->
+      record o.id o.left;
+      record o.id o.right)
+    t.ops;
+  Array.map List.rev res
+
+let input_consumers t =
+  let res = Array.make t.num_inputs [] in
+  let record id = function
+    | Input k -> res.(k) <- id :: res.(k)
+    | Op _ -> ()
+  in
+  Array.iter
+    (fun o ->
+      record o.id o.left;
+      record o.id o.right)
+    t.ops;
+  Array.map List.rev res
+
+let edge_count t = (2 * Array.length t.ops) + List.length t.outputs
+
+let depth t =
+  let d = Array.make (Array.length t.ops) 1 in
+  Array.iter
+    (fun o ->
+      let of_operand = function Op j -> d.(j) | Input _ -> 0 in
+      d.(o.id) <- 1 + max (of_operand o.left) (of_operand o.right))
+    t.ops;
+  Array.fold_left max 0 d
+
+let validate = check

@@ -1,0 +1,66 @@
+(** Data-flow graphs for high-level synthesis (the paper's CDFGs).
+
+    The benchmarks of the paper are pure data-flow graphs: every node is an
+    addition/subtraction or a multiplication with exactly two operands
+    (§6.1).  An operand is either a primary input or the result of an
+    earlier operation; primary outputs name the values delivered to the
+    environment.  Operations are stored in an id-dense, topologically
+    sorted array (operands always refer to smaller op ids), so traversals
+    never need an explicit dependency sort. *)
+
+type op_kind = Add | Sub | Mult
+
+(** Resource classes: Add and Sub share the adder/subtractor FU. *)
+type fu_class = Add_sub | Multiplier
+
+val class_of : op_kind -> fu_class
+val kind_to_string : op_kind -> string
+val class_to_string : fu_class -> string
+val all_classes : fu_class list
+
+(** A data source: a primary input or the result of operation [id]. *)
+type operand = Input of int | Op of int
+
+type op = {
+  id : int;
+  kind : op_kind;
+  left : operand;
+  right : operand;
+}
+
+type t
+
+(** [create ~name ~num_inputs ~ops ~outputs] builds and validates a CDFG.
+    Ops must appear in id order (0, 1, ...), and every [Op j] operand or
+    output must satisfy [j < id] (ops) or reference an existing op
+    (outputs); [Input k] needs [k < num_inputs].
+    @raise Invalid_argument on any violation. *)
+val create :
+  name:string -> num_inputs:int -> ops:op list -> outputs:operand list -> t
+
+val name : t -> string
+val num_inputs : t -> int
+val num_ops : t -> int
+val ops : t -> op array
+val op : t -> int -> op
+val outputs : t -> operand list
+
+(** [num_ops_of_class t c] counts ops whose {!class_of} is [c]. *)
+val num_ops_of_class : t -> fu_class -> int
+
+(** [consumers t] is, per op id, the ids of ops reading its result. *)
+val consumers : t -> int list array
+
+(** [input_consumers t] is, per primary input, the ids of ops reading it. *)
+val input_consumers : t -> int list array
+
+(** [edge_count t] counts data edges: two operand edges per op plus one
+    per primary output (the quantity profiled in Table 1). *)
+val edge_count : t -> int
+
+(** [depth t] is the length of the longest dependency chain (ops). *)
+val depth : t -> int
+
+(** [validate t] re-checks all structural invariants; @raise Failure on
+    violation.  Intended for tests. *)
+val validate : t -> unit

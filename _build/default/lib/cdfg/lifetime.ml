@@ -1,0 +1,95 @@
+type var = V_input of int | V_op of int
+
+let var_to_string = function
+  | V_input k -> Printf.sprintf "in%d" k
+  | V_op j -> Printf.sprintf "op%d" j
+
+let compare_var a b =
+  match (a, b) with
+  | V_input x, V_input y | V_op x, V_op y -> compare x y
+  | V_input _, V_op _ -> -1
+  | V_op _, V_input _ -> 1
+
+type interval = { var : var; birth : int; death : int }
+
+type t = {
+  sched : Schedule.t;
+  by_var : (var, interval) Hashtbl.t;
+  sorted : interval list;
+}
+
+let analyze (sched : Schedule.t) =
+  let cdfg = sched.Schedule.cdfg in
+  let births = Hashtbl.create 64 in
+  for k = 0 to Cdfg.num_inputs cdfg - 1 do
+    Hashtbl.replace births (V_input k) 0
+  done;
+  Array.iter
+    (fun o ->
+      let lat = sched.Schedule.latency o.Cdfg.kind in
+      Hashtbl.replace births (V_op o.Cdfg.id)
+        (sched.Schedule.cstep.(o.Cdfg.id) + lat))
+    (Cdfg.ops cdfg);
+  let deaths = Hashtbl.create 64 in
+  let use v step =
+    let cur = Option.value ~default:(-1) (Hashtbl.find_opt deaths v) in
+    Hashtbl.replace deaths v (max cur step)
+  in
+  Array.iter
+    (fun o ->
+      let s = sched.Schedule.cstep.(o.Cdfg.id) in
+      let record = function
+        | Cdfg.Input k -> use (V_input k) s
+        | Cdfg.Op j -> use (V_op j) s
+      in
+      record o.Cdfg.left;
+      record o.Cdfg.right)
+    (Cdfg.ops cdfg);
+  (* Primary outputs hold their value past the end of the schedule: the
+     environment reads them after the final clock edge, so their death is
+     one step beyond the last control step — otherwise a result written on
+     the final edge could legally share (and clobber) an output register. *)
+  let last = sched.Schedule.num_csteps in
+  List.iter
+    (function
+      | Cdfg.Input k -> use (V_input k) last
+      | Cdfg.Op j -> use (V_op j) last)
+    (Cdfg.outputs cdfg);
+  let by_var = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun v birth ->
+      (* Dead results (no reader, not an output) still occupy their
+         register for the single step of their birth. *)
+      let death =
+        max birth (Option.value ~default:birth (Hashtbl.find_opt deaths v))
+      in
+      Hashtbl.replace by_var v { var = v; birth; death })
+    births;
+  let sorted =
+    Hashtbl.fold (fun _ i acc -> i :: acc) by_var []
+    |> List.sort (fun a b ->
+           let c = compare a.birth b.birth in
+           if c <> 0 then c else compare_var a.var b.var)
+  in
+  { sched; by_var; sorted }
+
+let schedule t = t.sched
+let intervals t = t.sorted
+let interval t v = Hashtbl.find t.by_var v
+let overlap a b = a.birth <= b.death && b.birth <= a.death
+
+let live_at t step =
+  List.filter_map
+    (fun i -> if i.birth <= step && step <= i.death then Some i.var else None)
+    t.sorted
+
+let max_live t =
+  let horizon = max 1 t.sched.Schedule.num_csteps in
+  let counts = Array.make (horizon + 1) 0 in
+  List.iter
+    (fun i ->
+      for s = i.birth to min i.death horizon do
+        counts.(s) <- counts.(s) + 1
+      done)
+    t.sorted;
+  Array.fold_left max 0 counts

@@ -1,0 +1,45 @@
+(** Variable lifetime analysis for register binding.
+
+    Every primary input and every op result is a {e variable} that must
+    live in a register from its birth until its last use.  A variable born
+    at step [b] (available at the start of step [b]) and last read at step
+    [d] occupies its register over the inclusive interval [b .. d]; two
+    variables may share a register iff their intervals are disjoint.
+    Results feeding primary outputs are kept alive until the end of the
+    schedule, and primary inputs are born at step 0. *)
+
+type var = V_input of int | V_op of int
+
+val var_to_string : var -> string
+val compare_var : var -> var -> int
+
+type interval = {
+  var : var;
+  birth : int;  (** first step the value exists in a register *)
+  death : int;  (** last step the value is read (inclusive) *)
+}
+
+type t
+
+(** [analyze schedule] computes all variable intervals. *)
+val analyze : Schedule.t -> t
+
+val schedule : t -> Schedule.t
+
+(** [intervals t] is all intervals, sorted by (birth, var). *)
+val intervals : t -> interval list
+
+(** [interval t v] is the interval of variable [v].
+    @raise Not_found if [v] does not exist. *)
+val interval : t -> var -> interval
+
+(** [overlap a b] holds iff the two intervals intersect (cannot share a
+    register). *)
+val overlap : interval -> interval -> bool
+
+(** [live_at t step] is the variables alive at [step]. *)
+val live_at : t -> int -> var list
+
+(** [max_live t] is the maximum number of simultaneously live variables —
+    the register allocation of §5.1. *)
+val max_live : t -> int

@@ -1,0 +1,171 @@
+type latency = Cdfg.op_kind -> int
+
+let unit_latency _ = 1
+
+type t = {
+  cdfg : Cdfg.t;
+  cstep : int array;
+  num_csteps : int;
+  latency : latency;
+}
+
+let finish t id =
+  t.cstep.(id) + t.latency (Cdfg.op t.cdfg id).Cdfg.kind - 1
+
+let length_of cdfg latency cstep =
+  Array.fold_left max 0
+    (Array.mapi
+       (fun id s -> s + latency (Cdfg.op cdfg id).Cdfg.kind)
+       cstep)
+
+let earliest cdfg latency cstep o =
+  let ready = function
+    | Cdfg.Input _ -> 0
+    | Cdfg.Op j -> cstep.(j) + latency (Cdfg.op cdfg j).Cdfg.kind
+  in
+  max (ready o.Cdfg.left) (ready o.Cdfg.right)
+
+let asap ?(latency = unit_latency) cdfg =
+  let cstep = Array.make (Cdfg.num_ops cdfg) 0 in
+  Array.iter
+    (fun o -> cstep.(o.Cdfg.id) <- earliest cdfg latency cstep o)
+    (Cdfg.ops cdfg);
+  { cdfg; cstep; num_csteps = length_of cdfg latency cstep; latency }
+
+let alap ?(latency = unit_latency) cdfg ~num_csteps =
+  let n = Cdfg.num_ops cdfg in
+  let cstep = Array.make n 0 in
+  let consumers = Cdfg.consumers cdfg in
+  (* Latest start: bounded by consumers' starts and the horizon. *)
+  for id = n - 1 downto 0 do
+    let lat = latency (Cdfg.op cdfg id).Cdfg.kind in
+    let bound =
+      List.fold_left
+        (fun acc c -> min acc (cstep.(c) - lat))
+        (num_csteps - lat) consumers.(id)
+    in
+    if bound < 0 then invalid_arg "Schedule.alap: horizon too short";
+    cstep.(id) <- bound
+  done;
+  { cdfg; cstep; num_csteps; latency }
+
+let list_schedule ?(latency = unit_latency) cdfg ~resources =
+  List.iter
+    (fun c ->
+      if resources c < 1 then
+        invalid_arg "Schedule.list_schedule: resource bound < 1")
+    Cdfg.all_classes;
+  let n = Cdfg.num_ops cdfg in
+  (* Priority: ALAP start within the ASAP-length horizon stretched by a
+     generous factor; lower ALAP start = more urgent. *)
+  let asap_sched = asap ~latency cdfg in
+  let horizon = max asap_sched.num_csteps 1 in
+  let alap_sched =
+    (* ALAP needs a feasible horizon; the critical path length works. *)
+    alap ~latency cdfg ~num_csteps:horizon
+  in
+  let cstep = Array.make n (-1) in
+  let scheduled = Array.make n false in
+  let remaining = ref n in
+  (* Busy units per class, counted per step on the fly. *)
+  let step = ref 0 in
+  let busy_until = Hashtbl.create 4 in
+  (* class -> list of finish steps of ops in flight *)
+  let in_flight cls s =
+    match Hashtbl.find_opt busy_until cls with
+    | None -> 0
+    | Some l -> List.length (List.filter (fun f -> f >= s) l)
+  in
+  let add_flight cls f =
+    let l = Option.value ~default:[] (Hashtbl.find_opt busy_until cls) in
+    Hashtbl.replace busy_until cls (f :: l)
+  in
+  while !remaining > 0 do
+    let s = !step in
+    (* Ready ops: unscheduled, dependencies finished by s. *)
+    let ready =
+      Array.to_list (Cdfg.ops cdfg)
+      |> List.filter (fun o ->
+             (not scheduled.(o.Cdfg.id))
+             && earliest cdfg latency cstep o <= s
+             &&
+             (* operands must themselves be scheduled *)
+             let ok = function
+               | Cdfg.Input _ -> true
+               | Cdfg.Op j -> scheduled.(j)
+             in
+             ok o.Cdfg.left && ok o.Cdfg.right)
+    in
+    let by_class cls =
+      List.filter (fun o -> Cdfg.class_of o.Cdfg.kind = cls) ready
+      |> List.sort (fun a b ->
+             compare alap_sched.cstep.(a.Cdfg.id) alap_sched.cstep.(b.Cdfg.id))
+    in
+    List.iter
+      (fun cls ->
+        let slots = resources cls - in_flight cls s in
+        let rec take k = function
+          | [] -> ()
+          | o :: rest when k > 0 ->
+              let id = o.Cdfg.id in
+              cstep.(id) <- s;
+              scheduled.(id) <- true;
+              decr remaining;
+              add_flight cls (s + latency o.Cdfg.kind - 1);
+              take (k - 1) rest
+          | _ -> ()
+        in
+        take slots (by_class cls))
+      Cdfg.all_classes;
+    incr step
+  done;
+  { cdfg; cstep; num_csteps = length_of cdfg latency cstep; latency }
+
+let of_csteps ?(latency = unit_latency) cdfg ~cstep =
+  if Array.length cstep <> Cdfg.num_ops cdfg then
+    invalid_arg "Schedule.of_csteps: wrong length";
+  let t = { cdfg; cstep; num_csteps = length_of cdfg latency cstep; latency } in
+  t
+
+let density t cls =
+  let d = Array.make (max t.num_csteps 1) 0 in
+  Array.iter
+    (fun o ->
+      if Cdfg.class_of o.Cdfg.kind = cls then
+        for s = t.cstep.(o.Cdfg.id) to finish t o.Cdfg.id do
+          d.(s) <- d.(s) + 1
+        done)
+    (Cdfg.ops t.cdfg);
+  d
+
+let max_density t cls = Array.fold_left max 0 (density t cls)
+
+let peak_step t cls =
+  let d = density t cls in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > d.(!best) then best := i) d;
+  !best
+
+let active_steps t id = (t.cstep.(id), finish t id)
+
+let validate t ~resources =
+  Array.iter
+    (fun o ->
+      let id = o.Cdfg.id in
+      if t.cstep.(id) < 0 then failwith "Schedule: op not scheduled";
+      if earliest t.cdfg t.latency t.cstep o > t.cstep.(id) then
+        failwith
+          (Printf.sprintf "Schedule: op %d starts before its operands" id);
+      if finish t id >= t.num_csteps then
+        failwith (Printf.sprintf "Schedule: op %d exceeds horizon" id))
+    (Cdfg.ops t.cdfg);
+  match resources with
+  | None -> ()
+  | Some bound ->
+      List.iter
+        (fun cls ->
+          if max_density t cls > bound cls then
+            failwith
+              (Printf.sprintf "Schedule: class %s exceeds resource bound"
+                 (Cdfg.class_to_string cls)))
+        Cdfg.all_classes

@@ -1,0 +1,62 @@
+(** Operation scheduling.
+
+    The paper takes a {e scheduled} CDFG as input; this module produces
+    one.  An op scheduled at control step [s] with latency [l] occupies
+    steps [s .. s+l-1], reads its operands (from registers) at step [s],
+    and delivers its result at the start of step [s + l] (registered at the
+    end of step [s + l - 1]).  Consumers must therefore start no earlier
+    than [s + l].  The resource library of the experiments is single-cycle
+    ([l = 1] everywhere), but multi-cycle latencies are supported for the
+    paper's §5.2.1 discussion. *)
+
+type latency = Cdfg.op_kind -> int
+
+(** Single-cycle resources: 1 for every kind (the paper's library). *)
+val unit_latency : latency
+
+type t = {
+  cdfg : Cdfg.t;
+  cstep : int array;  (** start step per op id, 0-based *)
+  num_csteps : int;  (** schedule length in control steps *)
+  latency : latency;
+}
+
+(** [asap cdfg] schedules every op as early as dependencies allow
+    (unbounded resources). *)
+val asap : ?latency:latency -> Cdfg.t -> t
+
+(** [alap cdfg ~num_csteps] schedules as late as possible within
+    [num_csteps] steps.
+    @raise Invalid_argument if the graph cannot fit. *)
+val alap : ?latency:latency -> Cdfg.t -> num_csteps:int -> t
+
+(** [list_schedule cdfg ~resources] is resource-constrained list
+    scheduling with ALAP-slack priority; [resources c] bounds the number
+    of class-[c] ops active in any step.
+    @raise Invalid_argument if some class has a bound < 1. *)
+val list_schedule :
+  ?latency:latency -> Cdfg.t -> resources:(Cdfg.fu_class -> int) -> t
+
+(** [of_csteps cdfg ~cstep] wraps an externally produced schedule (used
+    for hand-built examples such as the paper's Fig. 1) and validates it. *)
+val of_csteps : ?latency:latency -> Cdfg.t -> cstep:int array -> t
+
+(** [validate t ~resources] checks dependency and (optional) resource
+    feasibility; @raise Failure on violation. *)
+val validate : t -> resources:(Cdfg.fu_class -> int) option -> unit
+
+(** [density t c] is, per control step, the number of class-[c] ops active
+    in that step. *)
+val density : t -> Cdfg.fu_class -> int array
+
+(** [max_density t c] is the paper's lower bound on the class-[c] resource
+    constraint: the largest single-step density. *)
+val max_density : t -> Cdfg.fu_class -> int
+
+(** [peak_step t c] is the index of (the first) control step achieving
+    [max_density t c]. *)
+val peak_step : t -> Cdfg.fu_class -> int
+
+(** [active_steps t id] is the inclusive [(first, last)] control steps
+    occupied by op [id]. *)
+val active_steps : t -> int -> int * int

@@ -1,0 +1,1 @@
+lib/core/binding.ml: Array Format Hlp_cdfg Hlp_util List Printf Reg_binding

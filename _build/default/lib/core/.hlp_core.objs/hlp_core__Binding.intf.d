@@ -1,0 +1,1 @@
+lib/core/binding.mli: Format Hlp_cdfg Reg_binding

@@ -1,0 +1,1 @@
+lib/core/bipartite.ml: Array List Option

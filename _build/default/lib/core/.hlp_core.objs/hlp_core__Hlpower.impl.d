@@ -1,0 +1,1 @@
+lib/core/hlpower.ml: Array Binding Bipartite Hlp_cdfg Int List Printf Reg_binding Sa_table Set

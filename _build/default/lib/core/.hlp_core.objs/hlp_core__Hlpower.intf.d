@@ -1,0 +1,1 @@
+lib/core/hlpower.mli: Binding Hlp_cdfg Reg_binding Sa_table

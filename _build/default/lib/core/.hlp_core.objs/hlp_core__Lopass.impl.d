@@ -1,0 +1,1 @@
+lib/core/lopass.ml: Array Binding Bipartite Hashtbl Hlp_cdfg Int List Option Printf Reg_binding Set

@@ -1,0 +1,1 @@
+lib/core/lopass.mli: Binding Hlp_cdfg Reg_binding

@@ -1,0 +1,1 @@
+lib/core/module_select.ml: Array Binding Hlp_cdfg Hlp_mapper Hlp_netlist List

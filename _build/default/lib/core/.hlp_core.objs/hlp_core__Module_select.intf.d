@@ -1,0 +1,1 @@
+lib/core/module_select.mli: Binding Hlp_cdfg Hlp_netlist

@@ -1,0 +1,1 @@
+lib/core/port_assign.ml: Array Binding Hlp_cdfg Int List Set

@@ -1,0 +1,1 @@
+lib/core/port_assign.mli: Binding

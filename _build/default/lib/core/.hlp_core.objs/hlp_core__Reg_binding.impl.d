@@ -1,0 +1,1 @@
+lib/core/reg_binding.ml: Array Bipartite Hashtbl Hlp_cdfg List Option Printf

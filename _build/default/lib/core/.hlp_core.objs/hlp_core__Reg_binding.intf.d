@@ -1,0 +1,1 @@
+lib/core/reg_binding.mli: Hlp_cdfg

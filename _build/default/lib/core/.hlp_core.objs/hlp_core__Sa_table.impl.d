@@ -1,0 +1,1 @@
+lib/core/sa_table.ml: Fun Hashtbl Hlp_cdfg Hlp_mapper Hlp_netlist List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/core/sa_table.mli: Hlp_cdfg

@@ -1,0 +1,75 @@
+(** HLPower functional-unit binding (Algorithm 1 and §5.2 of the paper).
+
+    Functional-unit binding proceeds iteratively.  Before the first
+    iteration, for every operation class the control step with the most
+    active operations of that class is found; those operations seed the
+    vertex set [U] — one (eventual) functional unit each — which is the
+    provable lower bound on the allocation (Theorem 1 for single-cycle
+    resources).  All remaining operations form [V].  Each iteration builds
+    a weighted bipartite graph between [U] and [V] with an edge wherever a
+    [V]-node's operations could share a functional unit with a [U]-node's
+    (same class, no temporal overlap), weighs every edge with Eq. 4:
+
+    {[ w = alpha * 1/SA + (1 - alpha) * 1/((muxDiff + 1) * beta) ]}
+
+    — [SA] being the glitch-aware switching activity of the merged partial
+    datapath ({!Sa_table}) and [muxDiff] the imbalance of the merged input
+    multiplexers — solves it for a maximum-weight matching, and merges
+    matched pairs.  Iteration stops once every class meets its resource
+    constraint.
+
+    For multi-cycle libraries Theorem 1 gives no guarantee; when an
+    iteration cannot merge anything but the constraint is still unmet, a
+    [V]-node is promoted into [U] (allocating one more unit, mirroring the
+    paper's observation that the algorithm "is nonetheless effective in
+    most cases"), and binding fails only if promotion exhausts [V] while
+    exceeding the constraint. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+
+type params = {
+  alpha : float;  (** Eq. 4 weighting; the paper evaluates 1.0 and 0.5 *)
+  beta : Cdfg.fu_class -> float;
+      (** Eq. 4 scale of the muxDiff term relative to 1/SA *)
+}
+
+(** alpha = 0.5; beta = 30 for adders, 1000 for multipliers (§5.2.2). *)
+val default_params : params
+
+(** [paper_beta] is the published beta schedule alone. *)
+val paper_beta : Cdfg.fu_class -> float
+
+(** [calibrate ?alpha sa_table] rescales beta to this table's SA magnitudes
+    (beta of a class = SA of its (2,2)-mux partial datapath), preserving
+    the relative weighting the paper tuned empirically at its own datapath
+    width.  [alpha] defaults to 0.5. *)
+val calibrate : ?alpha:float -> Sa_table.t -> params
+
+type result = {
+  binding : Binding.t;
+  iterations : int;  (** number of bipartite graphs solved *)
+  promoted : int;  (** extra units allocated beyond the lower bound *)
+}
+
+(** [bind ~params ~sa_table ~regs ~resources schedule] runs Algorithm 1.
+    @raise Failure if the constraint is unreachable (multi-cycle only) or
+    some class has a bound below its schedule density. *)
+val bind :
+  ?params:params ->
+  sa_table:Sa_table.t ->
+  regs:Reg_binding.t ->
+  resources:(Cdfg.fu_class -> int) ->
+  Schedule.t ->
+  result
+
+(** [edge_weight ~params ~sa_table ~binding-independent inputs] — exposed
+    for tests: the Eq. 4 weight for a hypothetical merge with the given
+    mux sizes. *)
+val edge_weight :
+  params:params ->
+  sa_table:Sa_table.t ->
+  cls:Cdfg.fu_class ->
+  left:int ->
+  right:int ->
+  float

@@ -1,0 +1,28 @@
+(** LOPASS-style baseline binding (Chen/Cong/Fan [3][4]).
+
+    The paper compares HLPower against the binding stage of LOPASS, a
+    low-power FPGA HLS system whose binder works from weighted bipartite
+    matching / network flow over the whole schedule in a single pass and
+    is power-aware through interconnect (multiplexer input) minimization —
+    but has no glitch model and no multiplexer-balancing term.
+
+    This reimplementation allocates the same number of functional units
+    per class as HLPower's lower bound (the paper notes the same number of
+    multiplexers were allocated by both algorithms) and assigns
+    operations control step by control step via maximum-weight bipartite
+    matching, where an assignment's weight grows with the number of
+    source registers the unit's ports already have — minimizing the
+    multiplexer inputs added, which is exactly the interconnect objective
+    of [2] that LOPASS's binder builds on. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+
+(** [bind ~regs ~resources schedule] produces the baseline binding.
+    @raise Failure if a class's schedule density exceeds its resource
+    bound. *)
+val bind :
+  regs:Reg_binding.t ->
+  resources:(Cdfg.fu_class -> int) ->
+  Schedule.t ->
+  Binding.t

@@ -1,0 +1,60 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Cl = Hlp_netlist.Cell_library
+module Mapper = Hlp_mapper.Mapper
+
+type objective = Min_sa | Min_delay
+
+type estimate = {
+  impl : Cl.adder_impl;
+  est_sa : float;
+  est_depth : int;
+  est_luts : int;
+}
+
+let price ~width ~k ~impl ~fu_cell ~left ~right =
+  let net =
+    Cl.partial_datapath ~adder_impl:impl ~fu:fu_cell ~width
+      ~left_inputs:(max 1 left) ~right_inputs:(max 1 right) ()
+  in
+  let m = Mapper.map net ~k in
+  {
+    impl;
+    est_sa = m.Mapper.total_sa;
+    est_depth = m.Mapper.depth;
+    est_luts = m.Mapper.lut_count;
+  }
+
+let estimates ~width ~k binding fu =
+  let left, right = Binding.port_sources binding fu in
+  let l = List.length left and r = List.length right in
+  match fu.Binding.fu_class with
+  | Cdfg.Multiplier ->
+      [ price ~width ~k ~impl:Cl.Ripple ~fu_cell:Cl.Multiplier ~left:l
+          ~right:r ]
+  | Cdfg.Add_sub ->
+      List.map
+        (fun impl ->
+          price ~width ~k ~impl ~fu_cell:Cl.Adder ~left:l ~right:r)
+        [ Cl.Ripple; Cl.Carry_select ]
+
+let choose ~width ~k ~objective binding =
+  let n = List.length binding.Binding.fus in
+  let result = Array.make (max n 1) Cl.Ripple in
+  List.iter
+    (fun fu ->
+      let options = estimates ~width ~k binding fu in
+      let better a b =
+        let key e =
+          match objective with
+          | Min_sa -> (e.est_sa, float_of_int e.est_depth)
+          | Min_delay -> (float_of_int e.est_depth, e.est_sa)
+        in
+        if key a <= key b then a else b
+      in
+      match options with
+      | [] -> ()
+      | first :: rest ->
+          result.(fu.Binding.fu_id) <-
+            (List.fold_left better first rest).impl)
+    binding.Binding.fus;
+  result

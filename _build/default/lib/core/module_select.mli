@@ -1,0 +1,44 @@
+(** Module selection (the paper's stated future work, §7).
+
+    After binding, each adder-class functional unit can be implemented by
+    different cells — a compact ripple-carry adder or a faster, larger
+    carry-select adder.  This module prices both implementations of every
+    allocated adder FU with the same glitch-aware machinery that prices
+    bindings (elaborate the FU's partial datapath at its actual mux sizes,
+    map to K-LUTs, read the timed SA and depth) and picks per-unit:
+
+    - {!Min_sa}: the implementation with the lower estimated switching
+      activity (power-driven, the binding objective extended one level
+      down), or
+    - {!Min_delay}: the implementation with the fewer LUT levels
+      (performance-driven), SA as the tie-break.
+
+    The choice feeds {!Hlp_rtl.Datapath.build} via its [adder_impls]
+    argument, so the evaluated netlist really contains the selected
+    cells. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Cl = Hlp_netlist.Cell_library
+
+type objective = Min_sa | Min_delay
+
+(** Per-FU pricing of one implementation option. *)
+type estimate = {
+  impl : Cl.adder_impl;
+  est_sa : float;
+  est_depth : int;
+  est_luts : int;
+}
+
+(** [estimates ~width ~k binding fu] prices every adder implementation for
+    [fu] at its bound mux sizes (multiplier FUs get their single
+    implementation). *)
+val estimates :
+  width:int -> k:int -> Binding.t -> Binding.fu -> estimate list
+
+(** [choose ~width ~k ~objective binding] selects an implementation per
+    FU; the result maps [fu_id] to the choice (multiplier FUs report
+    [Ripple], which {!Hlp_rtl.Datapath} ignores for them). *)
+val choose :
+  width:int -> k:int -> objective:objective -> Binding.t ->
+  Cl.adder_impl array

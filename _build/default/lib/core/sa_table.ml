@@ -1,0 +1,93 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Cl = Hlp_netlist.Cell_library
+module Mapper = Hlp_mapper.Mapper
+
+type t = {
+  width : int;
+  k : int;
+  cache : (Cdfg.fu_class * int * int, float) Hashtbl.t;
+}
+
+let create ?(width = 8) ?(k = 4) () =
+  if width < 1 then invalid_arg "Sa_table.create: bad width";
+  { width; k; cache = Hashtbl.create 256 }
+
+let width t = t.width
+let k t = t.k
+
+let fu_of_class = function
+  | Cdfg.Add_sub -> Cl.Adder
+  | Cdfg.Multiplier -> Cl.Multiplier
+
+let compute t cls ~left ~right =
+  let netlist =
+    Cl.partial_datapath ~fu:(fu_of_class cls) ~width:t.width
+      ~left_inputs:left ~right_inputs:right ()
+  in
+  let mapping = Mapper.map netlist ~k:t.k in
+  mapping.Mapper.total_sa
+
+let lookup t cls ~left ~right =
+  if left < 1 || right < 1 then invalid_arg "Sa_table.lookup: bad mux size";
+  (* The cell is symmetric in its ports; cache under the sorted key. *)
+  let lo = min left right and hi = max left right in
+  match Hashtbl.find_opt t.cache (cls, lo, hi) with
+  | Some sa -> sa
+  | None ->
+      let sa = compute t cls ~left:lo ~right:hi in
+      Hashtbl.replace t.cache (cls, lo, hi) sa;
+      sa
+
+let precompute t ~max_inputs =
+  List.iter
+    (fun cls ->
+      for left = 1 to max_inputs do
+        for right = left to max 1 (max_inputs + 2 - left) do
+          ignore (lookup t cls ~left ~right)
+        done
+      done)
+    Cdfg.all_classes
+
+let entries t =
+  Hashtbl.fold (fun (cls, l, r) sa acc -> (cls, l, r, sa) :: acc) t.cache []
+  |> List.sort compare
+
+let class_name = Cdfg.class_to_string
+
+let class_of_name = function
+  | "add" -> Cdfg.Add_sub
+  | "mult" -> Cdfg.Multiplier
+  | s -> failwith ("Sa_table: unknown class " ^ s)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# sa_table width=%d k=%d\n" t.width t.k;
+      List.iter
+        (fun (cls, l, r, sa) ->
+          Printf.fprintf oc "%s %d %d %.9g\n" (class_name cls) l r sa)
+        (entries t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let width, k =
+        try Scanf.sscanf header "# sa_table width=%d k=%d" (fun w k -> (w, k))
+        with Scanf.Scan_failure _ | End_of_file ->
+          failwith "Sa_table.load: bad header"
+      in
+      let t = create ~width ~k () in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             Scanf.sscanf line "%s %d %d %f" (fun cls l r sa ->
+                 Hashtbl.replace t.cache (class_of_name cls, l, r) sa)
+         done
+       with End_of_file -> ());
+      t)

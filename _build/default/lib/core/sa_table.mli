@@ -1,0 +1,50 @@
+(** Precalculated switching-activity table (§5.2.2).
+
+    Pricing an edge of the HLPower bipartite graph requires the estimated
+    SA of the partial datapath "two input muxes + functional unit" that
+    the merge would create (Fig. 2).  Because the same (FU class, left mux
+    size, right mux size) combination recurs constantly, the paper
+    precalculates SA for all combinations, stores them in a text file, and
+    reads them into a hash table at startup; the authors verified this
+    gives the same bindings as dynamic estimation, only faster.
+
+    This module reproduces that mechanism: {!lookup} computes on first use
+    — elaborating the partial datapath with {!Hlp_netlist.Cell_library},
+    mapping it onto K-LUTs with {!Hlp_mapper.Mapper} and summing the
+    glitch-aware effective SA (Eq. 3) — memoizes, and can round-trip the
+    table through the paper's text-file representation. *)
+
+type t
+
+(** [create ~width ~k ()] makes an empty table for datapaths of the given
+    word [width] mapped to [k]-input LUTs (defaults: 8-bit, K = 4 as on
+    Cyclone II). *)
+val create : ?width:int -> ?k:int -> unit -> t
+
+val width : t -> int
+val k : t -> int
+
+(** [lookup t cls ~left ~right] is the estimated effective SA of the
+    partial datapath for FU class [cls] with mux sizes [left] and [right]
+    (size 1 = direct wire).  Symmetric in [left]/[right] for multipliers
+    and adders alike (the cell is structurally symmetric up to the port
+    order, and the estimate is cached under the sorted key).
+    @raise Invalid_argument on non-positive sizes. *)
+val lookup : t -> Hlp_cdfg.Cdfg.fu_class -> left:int -> right:int -> float
+
+(** [precompute t ~max_inputs] fills the table for every combination with
+    [left + right <= max_inputs + 2] (both at least 1) — "all FU & MUX
+    combinations" of Algorithm 1 line 3, bounded by the largest mux any
+    binding could create. *)
+val precompute : t -> max_inputs:int -> unit
+
+(** [entries t] lists the memoized [(class, left, right, sa)] rows. *)
+val entries : t -> (Hlp_cdfg.Cdfg.fu_class * int * int * float) list
+
+(** [save t path] / [load path] write / read the text-file format
+    (one row per line: [class left right sa]).  [load] restores width/k
+    from a header line.
+    @raise Failure on malformed files. *)
+val save : t -> string -> unit
+
+val load : string -> t

@@ -1,0 +1,1 @@
+lib/hls/explore.ml: Format Hlp_cdfg Hlp_core Hlp_rtl List Printf

@@ -1,0 +1,1 @@
+lib/hls/explore.mli: Format Hlp_cdfg

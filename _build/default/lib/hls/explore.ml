@@ -1,0 +1,115 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Reg_binding = Hlp_core.Reg_binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Flow = Hlp_rtl.Flow
+
+type point = {
+  add_units : int;
+  mult_units : int;
+  alpha : float;
+  csteps : int;
+  latency_ns : float;
+  clock_ns : float;
+  regs : int;
+  luts : int;
+  power_mw : float;
+  toggle_mhz : float;
+}
+
+let pp_point fmt p =
+  Format.fprintf fmt
+    "%d+/%d* a=%.2f: %d steps, %.0f ns latency, %d regs, %d LUTs, %.3f mW, \
+     %.1f Mtoggle/s"
+    p.add_units p.mult_units p.alpha p.csteps p.latency_ns p.regs p.luts
+    p.power_mw p.toggle_mhz
+
+type config = {
+  width : int;
+  vectors : int;
+  add_range : int list;
+  mult_range : int list;
+  alphas : float list;
+}
+
+let default_config =
+  {
+    width = 16;
+    vectors = 60;
+    add_range = [ 1; 2; 4 ];
+    mult_range = [ 1; 2; 4 ];
+    alphas = [ 1.0; 0.5 ];
+  }
+
+let sweep ?(config = default_config) cdfg =
+  let sa_table = Sa_table.create ~width:config.width ~k:4 () in
+  let points = ref [] in
+  List.iter
+    (fun add_units ->
+      List.iter
+        (fun mult_units ->
+          let resources = function
+            | Cdfg.Add_sub -> add_units
+            | Cdfg.Multiplier -> mult_units
+          in
+          match Schedule.list_schedule cdfg ~resources with
+          | exception Invalid_argument _ -> ()
+          | schedule ->
+              let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+              List.iter
+                (fun alpha ->
+                  match
+                    Hlpower.bind
+                      ~params:(Hlpower.calibrate ~alpha sa_table)
+                      ~sa_table ~regs ~resources schedule
+                  with
+                  | exception Failure _ -> ()
+                  | result ->
+                      let flow_config =
+                        {
+                          Flow.default_config with
+                          Flow.width = config.width;
+                          vectors = config.vectors;
+                        }
+                      in
+                      let report =
+                        Flow.run ~config:flow_config
+                          ~design:
+                            (Printf.sprintf "%s-%da%dm-a%.2f"
+                               (Cdfg.name cdfg) add_units mult_units alpha)
+                          result.Hlpower.binding
+                      in
+                      points :=
+                        {
+                          add_units;
+                          mult_units;
+                          alpha;
+                          csteps = schedule.Schedule.num_csteps;
+                          latency_ns =
+                            float_of_int schedule.Schedule.num_csteps
+                            *. report.Flow.clock_period_ns;
+                          clock_ns = report.Flow.clock_period_ns;
+                          regs = Reg_binding.num_regs regs;
+                          luts = report.Flow.luts;
+                          power_mw = report.Flow.dynamic_power_mw;
+                          toggle_mhz = report.Flow.toggle_rate_mhz;
+                        }
+                        :: !points)
+                config.alphas)
+        config.mult_range)
+    config.add_range;
+  List.rev !points
+
+let dominates a b =
+  a.latency_ns <= b.latency_ns
+  && a.power_mw <= b.power_mw
+  && a.luts <= b.luts
+  && (a.latency_ns < b.latency_ns || a.power_mw < b.power_mw
+     || a.luts < b.luts)
+
+let pareto points =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points

@@ -1,0 +1,1 @@
+lib/mapper/cut.ml: Array Format Hashtbl Hlp_netlist List String

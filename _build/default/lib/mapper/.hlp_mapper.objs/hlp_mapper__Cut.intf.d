@@ -1,0 +1,1 @@
+lib/mapper/cut.mli: Format Hlp_netlist

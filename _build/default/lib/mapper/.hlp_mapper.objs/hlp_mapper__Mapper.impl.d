@@ -1,0 +1,1 @@
+lib/mapper/mapper.ml: Array Cut Hashtbl Hlp_activity Hlp_netlist Hlp_util List Printf

@@ -1,0 +1,1 @@
+lib/mapper/mapper.mli: Hlp_activity Hlp_netlist

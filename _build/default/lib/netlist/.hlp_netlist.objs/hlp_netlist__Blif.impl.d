@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Fun Hashtbl Int64 List Netlist Printf String Truth_table

@@ -1,0 +1,1 @@
+lib/netlist/cell_library.ml: Array List Netlist Printf Truth_table

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array List Printf Truth_table

@@ -1,0 +1,1 @@
+lib/netlist/truth_table.ml: Array Format Int64 Printf String

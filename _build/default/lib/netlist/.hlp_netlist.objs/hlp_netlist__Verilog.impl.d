@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Fun List Netlist Printf String Truth_table

@@ -1,0 +1,27 @@
+(** BLIF (Berkeley Logic Interchange Format) serialization.
+
+    The paper's edge-weight procedure generates the partial datapath "in
+    .blif format" [SIS, ref 19] before handing it to the switching-activity
+    estimator; this module provides the equivalent printer plus a parser so
+    precomputed netlists and external circuits can be read back.  The
+    supported subset is single-model, combinational BLIF: [.model],
+    [.inputs], [.outputs], [.names] with cube covers (including ['-']
+    don't-cares and both output polarities), and [.end].  [.subckt] is not
+    emitted — cells are flattened at construction time, mirroring step (3)
+    of Fig. 2 of the paper. *)
+
+(** [to_string t] renders the netlist as BLIF.  Net names are made unique
+    and safe; declared outputs keep their names via buffer covers. *)
+val to_string : Netlist.t -> string
+
+(** [output_file t path] writes [to_string t] to [path]. *)
+val output_file : Netlist.t -> string -> unit
+
+(** [of_string s] parses a BLIF model back into a netlist.  Logic may be
+    declared in any order; the result is topologically sorted.
+    @raise Failure with a line diagnostic on malformed input, functions of
+    more than {!Truth_table.max_vars} inputs, or combinational cycles. *)
+val of_string : string -> Netlist.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> Netlist.t

@@ -1,0 +1,230 @@
+type node_id = Netlist.node_id
+type builder = Netlist.builder
+type fu = Adder | Multiplier
+
+let fu_to_string = function Adder -> "add" | Multiplier -> "mult"
+
+(* Truth-table constants; input i occupies bit i of the minterm index. *)
+let tt_not = Truth_table.create 1 0b01L
+let tt_and2 = Truth_table.create 2 0b1000L
+let tt_or2 = Truth_table.create 2 0b1110L
+let tt_xor2 = Truth_table.create 2 0b0110L
+let tt_xor3 = Truth_table.create 3 0x96L (* odd parity *)
+let tt_maj3 = Truth_table.create 3 0xE8L (* at least two ones *)
+
+(* mux2 over (d0, d1, sel): sel=0 -> d0 (minterms 1,3), sel=1 -> d1
+   (minterms 6,7). *)
+let tt_mux2 = Truth_table.create 3 0b11001010L
+
+let gate1 b name func x =
+  Netlist.add_node b ~name ~func ~fanins:[| x |]
+
+let gate2 b name func x y =
+  Netlist.add_node b ~name ~func ~fanins:[| x; y |]
+
+let gate3 b name func x y z =
+  Netlist.add_node b ~name ~func ~fanins:[| x; y; z |]
+
+let not_ b x = gate1 b "not" tt_not x
+let and2 b x y = gate2 b "and" tt_and2 x y
+let or2 b x y = gate2 b "or" tt_or2 x y
+let xor2 b x y = gate2 b "xor" tt_xor2 x y
+let xor3 b x y z = gate3 b "xor3" tt_xor3 x y z
+let maj3 b x y z = gate3 b "maj3" tt_maj3 x y z
+let mux2 b ~sel ~d0 ~d1 = gate3 b "mux2" tt_mux2 d0 d1 sel
+
+let full_adder b x y cin =
+  (xor3 b x y cin, maj3 b x y cin)
+
+let ripple_adder b ~a ~b_in ~cin =
+  let width = Array.length a in
+  if width = 0 || Array.length b_in <> width then
+    invalid_arg "Cell_library.ripple_adder: bad operand widths";
+  let carry = ref cin in
+  let sum =
+    Array.init width (fun i ->
+        let s, c = full_adder b a.(i) b_in.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let add_sub b ~a ~b_in ~sub =
+  let width = Array.length a in
+  if width = 0 || Array.length b_in <> width then
+    invalid_arg "Cell_library.add_sub: bad operand widths";
+  let b_eff = Array.map (fun bit -> xor2 b bit sub) b_in in
+  let sum, _carry = ripple_adder b ~a ~b_in:b_eff ~cin:sub in
+  sum
+
+let array_multiplier b ~a ~b_in ~truncate =
+  let width = Array.length a in
+  if width = 0 || Array.length b_in <> width then
+    invalid_arg "Cell_library.array_multiplier: bad operand widths";
+  let out_width = if truncate then width else 2 * width in
+  (* Column compression: collect AND partial products per bit position, then
+     compress each column with full/half adders, rippling carries upward.
+     Every full adder removes two bits from a column; every half adder
+     removes one; carries landing past [out_width] are discarded (truncated
+     product). *)
+  let columns = Array.make (out_width + 1) [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      let pos = i + j in
+      if pos < out_width then
+        columns.(pos) <- and2 b a.(j) b_in.(i) :: columns.(pos)
+    done
+  done;
+  let product = Array.make out_width 0 in
+  for pos = 0 to out_width - 1 do
+    (* Wallace-style rounds: within a round, bits are grouped into disjoint
+       triples/pairs compressed in parallel (sums feed the *next* round),
+       so the reduction depth per column is logarithmic rather than a
+       ripple through the column. *)
+    let rec reduce bits =
+      match bits with
+      | [] -> Netlist.add_const b false
+      | [ bit ] -> bit
+      | _ ->
+          let rec round acc = function
+            | x :: y :: z :: rest ->
+                if pos + 1 <= out_width then
+                  columns.(pos + 1) <- maj3 b x y z :: columns.(pos + 1);
+                round (xor3 b x y z :: acc) rest
+            | [ x; y ] ->
+                if pos + 1 <= out_width then
+                  columns.(pos + 1) <- and2 b x y :: columns.(pos + 1);
+                List.rev (xor2 b x y :: acc)
+            | [ x ] -> List.rev (x :: acc)
+            | [] -> List.rev acc
+          in
+          reduce (round [] bits)
+    in
+    product.(pos) <- reduce columns.(pos)
+  done;
+  product
+
+let sel_bits n =
+  if n <= 1 then 0
+  else
+    let rec bits k acc = if 1 lsl acc >= k then acc else bits k (acc + 1) in
+    bits n 1
+
+let mux_tree b ~sel ~data =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Cell_library.mux_tree: no data inputs";
+  let width = Array.length data.(0) in
+  Array.iter
+    (fun w ->
+      if Array.length w <> width then
+        invalid_arg "Cell_library.mux_tree: width mismatch")
+    data;
+  let s = sel_bits n in
+  if Array.length sel < s then
+    invalid_arg "Cell_library.mux_tree: not enough select lines";
+  (* Select recursively on the highest select bit of the current range. *)
+  let rec build lo hi level =
+    if hi - lo = 1 then data.(lo)
+    else begin
+      let half = 1 lsl (level - 1) in
+      let left = build lo (min hi (lo + half)) (level - 1) in
+      let right =
+        if lo + half < hi then build (lo + half) hi (level - 1) else left
+      in
+      if left == right then left
+      else
+        Array.init width (fun i ->
+            mux2 b ~sel:sel.(level - 1) ~d0:left.(i) ~d1:right.(i))
+    end
+  in
+  build 0 n s
+
+let input_word b ~prefix ~width =
+  Array.init width (fun i -> Netlist.add_input b (prefix ^ string_of_int i))
+
+let carry_select_adder b ~a ~b_in ~cin ~block =
+  let width = Array.length a in
+  if width = 0 || Array.length b_in <> width then
+    invalid_arg "Cell_library.carry_select_adder: bad operand widths";
+  if block < 1 then invalid_arg "Cell_library.carry_select_adder: bad block";
+  let sum = Array.make width 0 in
+  let rec blocks lo carry =
+    if lo >= width then carry
+    else begin
+      let hi = min width (lo + block) in
+      let seg arr = Array.sub arr lo (hi - lo) in
+      if lo = 0 then begin
+        (* First block ripples directly from cin. *)
+        let s, c = ripple_adder b ~a:(seg a) ~b_in:(seg b_in) ~cin:carry in
+        Array.blit s 0 sum lo (hi - lo);
+        blocks hi c
+      end
+      else begin
+        (* Speculative halves for carry-in 0 and 1, then select. *)
+        let zero = Netlist.add_const b false in
+        let one = Netlist.add_const b true in
+        let s0, c0 = ripple_adder b ~a:(seg a) ~b_in:(seg b_in) ~cin:zero in
+        let s1, c1 = ripple_adder b ~a:(seg a) ~b_in:(seg b_in) ~cin:one in
+        for i = 0 to hi - lo - 1 do
+          sum.(lo + i) <- mux2 b ~sel:carry ~d0:s0.(i) ~d1:s1.(i)
+        done;
+        blocks hi (mux2 b ~sel:carry ~d0:c0 ~d1:c1)
+      end
+    end
+  in
+  let carry_out = blocks 0 cin in
+  (sum, carry_out)
+
+type adder_impl = Ripple | Carry_select
+
+let adder_impl_to_string = function
+  | Ripple -> "ripple"
+  | Carry_select -> "carry-select"
+
+let add_sub_impl b ~impl ~a ~b_in ~sub =
+  match impl with
+  | Ripple -> add_sub b ~a ~b_in ~sub
+  | Carry_select ->
+      let width = Array.length a in
+      if width = 0 || Array.length b_in <> width then
+        invalid_arg "Cell_library.add_sub_impl: bad operand widths";
+      let b_eff = Array.map (fun bit -> xor2 b bit sub) b_in in
+      let block = max 2 (width / 4) in
+      let sum, _ = carry_select_adder b ~a ~b_in:b_eff ~cin:sub ~block in
+      sum
+
+let partial_datapath ?(adder_impl = Ripple) ~fu ~width ~left_inputs
+    ~right_inputs () =
+  if width <= 0 || left_inputs <= 0 || right_inputs <= 0 then
+    invalid_arg "Cell_library.partial_datapath: non-positive size";
+  let name =
+    Printf.sprintf "%s_%d_%d_w%d" (fu_to_string fu) left_inputs right_inputs
+      width
+  in
+  let b = Netlist.create_builder ~name in
+  let side tag n =
+    let data =
+      Array.init n (fun k ->
+          input_word b ~prefix:(Printf.sprintf "%s%d_" tag k) ~width)
+    in
+    let sel =
+      input_word b ~prefix:(Printf.sprintf "%ssel" tag)
+        ~width:(sel_bits n)
+    in
+    mux_tree b ~sel ~data
+  in
+  let left = side "L" left_inputs in
+  let right = side "R" right_inputs in
+  let result =
+    match fu with
+    | Adder ->
+        (* The add/sub control is an FSM input of the real datapath, so it
+           is a primary input here as well. *)
+        let sub = Netlist.add_input b "SUB" in
+        add_sub_impl b ~impl:adder_impl ~a:left ~b_in:right ~sub
+    | Multiplier -> array_multiplier b ~a:left ~b_in:right ~truncate:true
+  in
+  Array.iteri
+    (fun i bit -> Netlist.mark_output b (Printf.sprintf "S%d" i) bit)
+    result;
+  Netlist.freeze b

@@ -1,0 +1,121 @@
+(** Gate-level generators for the resource library.
+
+    The paper's resource library contains single-cycle adders, multipliers,
+    registers, and multiplexers (§6.1).  This module elaborates the
+    combinational cells into netlist gates: ripple-carry adder/subtractor,
+    array multiplier, and 2:1-mux trees for N-input multiplexers.  Register
+    state lives outside the combinational netlist (registers become netlist
+    inputs/outputs at the clock boundary), matching how the activity
+    estimator and the cycle-accurate simulator consume these netlists.
+
+    [partial_datapath] reproduces Fig. 2 of the paper: the two input
+    multiplexers plus the functional unit of a candidate binding, as one
+    self-contained netlist whose switching activity prices that binding. *)
+
+type node_id = Netlist.node_id
+type builder = Netlist.builder
+
+(** Functional-unit cell kinds.  Additions and subtractions share the
+    adder/subtractor cell, as in the paper's add/sub operation class. *)
+type fu = Adder | Multiplier
+
+val fu_to_string : fu -> string
+
+(** {1 Primitive gates}
+
+    Each returns the id of a fresh node in [b]. *)
+
+val not_ : builder -> node_id -> node_id
+val and2 : builder -> node_id -> node_id -> node_id
+val or2 : builder -> node_id -> node_id -> node_id
+val xor2 : builder -> node_id -> node_id -> node_id
+
+(** 3-input parity — the sum output of a full adder. *)
+val xor3 : builder -> node_id -> node_id -> node_id -> node_id
+
+(** 3-input majority — the carry output of a full adder. *)
+val maj3 : builder -> node_id -> node_id -> node_id -> node_id
+
+(** [mux2 b ~sel ~d0 ~d1] selects [d1] when [sel] is true, else [d0]. *)
+val mux2 : builder -> sel:node_id -> d0:node_id -> d1:node_id -> node_id
+
+(** {1 Word-level cells}
+
+    Words are little-endian arrays of node ids (bit 0 first). *)
+
+(** [ripple_adder b ~a ~b_in ~cin] returns [(sum, carry_out)].
+    @raise Invalid_argument if widths differ or are 0. *)
+val ripple_adder :
+  builder -> a:node_id array -> b_in:node_id array -> cin:node_id ->
+  node_id array * node_id
+
+(** [add_sub b ~a ~b_in ~sub] computes [a + b] when [sub] is false and
+    [a - b] (two's complement) when true; result truncated to the operand
+    width — the adder/subtractor cell of the resource library. *)
+val add_sub :
+  builder -> a:node_id array -> b_in:node_id array -> sub:node_id ->
+  node_id array
+
+(** [array_multiplier b ~a ~b_in ~truncate] builds an AND-array/ripple
+    carry-save multiplier.  With [truncate = true] only the logic feeding
+    the low [width] product bits is generated (the datapath register
+    width); otherwise the full [2 * width] product is produced. *)
+val array_multiplier :
+  builder -> a:node_id array -> b_in:node_id array -> truncate:bool ->
+  node_id array
+
+(** [sel_bits n] is the number of select lines an [n]-input mux needs
+    ([ceil log2 n], and 0 when [n <= 1]). *)
+val sel_bits : int -> int
+
+(** [mux_tree b ~sel ~data] builds a tree of 2:1 muxes choosing among the
+    words of [data] (all of equal width) according to the little-endian
+    select word [sel]; out-of-range select values read an arbitrary word.
+    A single candidate is returned unchanged (no gates).
+    @raise Invalid_argument if [data] is empty, widths differ, or [sel] is
+    too narrow. *)
+val mux_tree :
+  builder -> sel:node_id array -> data:node_id array array -> node_id array
+
+(** [input_word b ~prefix ~width] declares [width] fresh primary inputs
+    named [prefix ^ string_of_int bit]. *)
+val input_word : builder -> prefix:string -> width:int -> node_id array
+
+(** [carry_select_adder b ~a ~b_in ~cin ~block] computes [a + b_in + cin]
+    with carry-select blocks of [block] bits: each block beyond the first
+    is duplicated for carry-in 0 and 1 and the true carry selects the
+    result — shorter critical path than the ripple adder at ~1.8x the
+    area, the classic speed/area module-selection alternative.
+    Returns [(sum, carry_out)].
+    @raise Invalid_argument on width mismatch or [block < 1]. *)
+val carry_select_adder :
+  builder -> a:node_id array -> b_in:node_id array -> cin:node_id ->
+  block:int -> node_id array * node_id
+
+(** Adder implementation choices for module selection (the paper's
+    future-work axis). *)
+type adder_impl = Ripple | Carry_select
+
+val adder_impl_to_string : adder_impl -> string
+
+(** [add_sub_impl b ~impl ~a ~b_in ~sub] is {!add_sub} with a selectable
+    adder implementation. *)
+val add_sub_impl :
+  builder -> impl:adder_impl -> a:node_id array -> b_in:node_id array ->
+  sub:node_id -> node_id array
+
+(** {1 Partial datapaths (Fig. 2)} *)
+
+(** [partial_datapath ~fu ~width ~left_inputs ~right_inputs] elaborates the
+    candidate binding datapath: a [left_inputs]-input mux and a
+    [right_inputs]-input mux (word width [width]) feeding one functional
+    unit.  Primary inputs are all mux data words, the select lines, and —
+    for adder FUs — the add/sub control; primary outputs are the FU result
+    bits (width [width]).  Mux sizes of 1 degenerate to a direct
+    connection.
+    [adder_impl] selects the adder-class implementation (default
+    {!Ripple}) — the module-selection axis.
+    @raise Invalid_argument on non-positive sizes. *)
+val partial_datapath :
+  ?adder_impl:adder_impl -> fu:fu -> width:int -> left_inputs:int ->
+  right_inputs:int -> unit -> Netlist.t

@@ -1,0 +1,153 @@
+type node_id = int
+
+type node = {
+  id : node_id;
+  name : string;
+  func : Truth_table.t;
+  fanins : node_id array;
+}
+
+type t = {
+  name : string;
+  nodes : node array; (* index = id; ids are dense and topologically sorted *)
+  inputs : node_id array;
+  outputs : (string * node_id) list;
+  input_set : bool array;
+}
+
+type builder = {
+  b_name : string;
+  mutable b_nodes : node list; (* reversed *)
+  mutable b_count : int;
+  mutable b_inputs : node_id list; (* reversed *)
+  mutable b_outputs : (string * node_id) list; (* reversed *)
+  mutable b_frozen : bool;
+}
+
+let create_builder ~name =
+  { b_name = name; b_nodes = []; b_count = 0; b_inputs = [];
+    b_outputs = []; b_frozen = false }
+
+let check_open b =
+  if b.b_frozen then invalid_arg "Netlist: builder already frozen"
+
+let push b node =
+  b.b_nodes <- node :: b.b_nodes;
+  b.b_count <- b.b_count + 1;
+  node.id
+
+let add_input b name =
+  check_open b;
+  let id = b.b_count in
+  let id = push b { id; name; func = Truth_table.var 0 1; fanins = [||] } in
+  b.b_inputs <- id :: b.b_inputs;
+  id
+
+let add_node b ~name ~func ~fanins =
+  check_open b;
+  if Truth_table.arity func <> Array.length fanins then
+    invalid_arg "Netlist.add_node: arity / fanin count mismatch";
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= b.b_count then
+        invalid_arg "Netlist.add_node: unknown fanin id")
+    fanins;
+  push b { id = b.b_count; name; func; fanins }
+
+let add_const b v =
+  check_open b;
+  let func = if v then Truth_table.const1 0 else Truth_table.const0 0 in
+  push b { id = b.b_count; name = (if v then "const1" else "const0");
+           func; fanins = [||] }
+
+let mark_output b name id =
+  check_open b;
+  if id < 0 || id >= b.b_count then
+    invalid_arg "Netlist.mark_output: unknown node id";
+  b.b_outputs <- (name, id) :: b.b_outputs
+
+let freeze b =
+  check_open b;
+  if b.b_outputs = [] then invalid_arg "Netlist.freeze: no outputs declared";
+  b.b_frozen <- true;
+  let nodes = Array.of_list (List.rev b.b_nodes) in
+  let inputs = Array.of_list (List.rev b.b_inputs) in
+  let input_set = Array.make (Array.length nodes) false in
+  Array.iter (fun id -> input_set.(id) <- true) inputs;
+  { name = b.b_name; nodes; inputs; outputs = List.rev b.b_outputs;
+    input_set }
+
+let name t = t.name
+let node t id = t.nodes.(id)
+let num_nodes t = Array.length t.nodes
+let inputs t = t.inputs
+let outputs t = t.outputs
+let is_input t id = t.input_set.(id)
+
+(* Ids are assigned in creation order and fanins must pre-exist, so the
+   identity permutation is already topological. *)
+let topo_order t = Array.init (Array.length t.nodes) (fun i -> i)
+
+let fanouts t =
+  let res = Array.make (Array.length t.nodes) [] in
+  Array.iter
+    (fun n -> Array.iter (fun f -> res.(f) <- n.id :: res.(f)) n.fanins)
+    t.nodes;
+  Array.map (fun l -> Array.of_list (List.rev l)) res
+
+let depth t =
+  let d = Array.make (Array.length t.nodes) 0 in
+  Array.iter
+    (fun n ->
+      if Array.length n.fanins > 0 && not t.input_set.(n.id) then
+        d.(n.id) <- 1 + Array.fold_left (fun acc f -> max acc d.(f)) 0 n.fanins)
+    t.nodes;
+  d
+
+let max_depth t = Array.fold_left max 0 (depth t)
+
+let num_logic_nodes t =
+  Array.fold_left
+    (fun acc n ->
+      if (not t.input_set.(n.id)) && Array.length n.fanins > 0 then acc + 1
+      else acc)
+    0 t.nodes
+
+let eval t assignment =
+  if Array.length assignment <> Array.length t.inputs then
+    invalid_arg "Netlist.eval: wrong assignment length";
+  let values = Array.make (Array.length t.nodes) false in
+  Array.iteri (fun k id -> values.(id) <- assignment.(k)) t.inputs;
+  Array.iter
+    (fun n ->
+      if not t.input_set.(n.id) then begin
+        let m = ref 0 in
+        Array.iteri (fun i f -> if values.(f) then m := !m lor (1 lsl i))
+          n.fanins;
+        values.(n.id) <- Truth_table.eval n.func !m
+      end)
+    t.nodes;
+  values
+
+let output_values t assignment =
+  let values = eval t assignment in
+  List.map (fun (name, id) -> (name, values.(id))) t.outputs
+
+let validate t =
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then failwith "Netlist.validate: id/index mismatch";
+      if Truth_table.arity n.func <> Array.length n.fanins
+         && not t.input_set.(n.id)
+      then failwith (Printf.sprintf "Netlist.validate: node %d arity" i);
+      Array.iter
+        (fun f ->
+          if f >= i then
+            failwith (Printf.sprintf "Netlist.validate: node %d not topo" i))
+        n.fanins)
+    t.nodes;
+  List.iter
+    (fun (name, id) ->
+      if id < 0 || id >= Array.length t.nodes then
+        failwith ("Netlist.validate: dangling output " ^ name))
+    t.outputs

@@ -1,0 +1,18 @@
+(** Structural Verilog emission for combinational netlists.
+
+    The BLIF sibling for tool interoperability: every logic node becomes
+    an [assign] of its sum-of-products (or a LUT-style conditional for
+    wide functions), so the emitted module is synthesizable structural
+    Verilog-2001 with the same ports as the netlist.  Like {!Blif}, the
+    output is write-only in this repo (no Verilog simulator in the sealed
+    environment); {!lint} plus the shared-netlist construction guard it. *)
+
+(** [to_string t] renders the netlist as a Verilog module. *)
+val to_string : Netlist.t -> string
+
+(** [output_file t path] writes [to_string t] to [path]. *)
+val output_file : Netlist.t -> string -> unit
+
+(** [lint text] checks structural well-formedness (module/endmodule
+    balance, every output assigned); @raise Failure on violation. *)
+val lint : string -> unit

@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Hlp_cdfg Hlp_core Hlp_netlist List Printf

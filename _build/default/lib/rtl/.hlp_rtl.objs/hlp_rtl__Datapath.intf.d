@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Hlp_cdfg Hlp_core Hlp_netlist

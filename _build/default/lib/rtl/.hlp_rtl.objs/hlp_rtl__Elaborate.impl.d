@@ -1,0 +1,1 @@
+lib/rtl/elaborate.ml: Array Datapath Hlp_cdfg Hlp_core Hlp_netlist List Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/elaborate.mli: Datapath Hlp_netlist

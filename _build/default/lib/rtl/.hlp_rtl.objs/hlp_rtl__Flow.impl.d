@@ -1,0 +1,1 @@
+lib/rtl/flow.ml: Datapath Elaborate Format Hlp_core Hlp_mapper Power Sim

@@ -1,0 +1,1 @@
+lib/rtl/flow.mli: Format Hlp_core Hlp_mapper Power

@@ -1,0 +1,1 @@
+lib/rtl/power.ml: Array Hlp_netlist Sim

@@ -1,0 +1,1 @@
+lib/rtl/power.mli: Hlp_netlist Sim

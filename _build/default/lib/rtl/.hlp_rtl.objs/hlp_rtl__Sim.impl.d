@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Datapath Elaborate Hashtbl Hlp_cdfg Hlp_core Hlp_netlist Hlp_util List Printf

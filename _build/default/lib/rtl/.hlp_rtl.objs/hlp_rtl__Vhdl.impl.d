@@ -1,0 +1,1 @@
+lib/rtl/vhdl.ml: Array Buffer Datapath Fun Hlp_cdfg Hlp_core Hlp_util List Printf String

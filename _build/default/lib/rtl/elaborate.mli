@@ -1,0 +1,52 @@
+(** Gate-level elaboration of a datapath's combinational logic.
+
+    Flattens the datapath cells — FU input multiplexers, functional units,
+    and register write multiplexers — into one combinational netlist.  The
+    netlist's primary inputs are the current register values plus all FSM
+    control lines (mux selects and adder add/sub flags); its primary
+    outputs are the next-value words of every FU-written register.  The
+    register bits themselves stay outside the netlist (they are the state
+    the cycle-accurate simulator carries between clock edges), exactly as
+    registers sit outside the LUT fabric's combinational paths in the
+    target FPGA. *)
+
+(** Input layout: positions of logical signals in the primary-input
+    vector. *)
+type layout = {
+  reg_bits : int array array;  (** [reg_bits.(r).(b)]: input index *)
+  fu_left_sel : int array array;  (** per fu: select-line input indices *)
+  fu_right_sel : int array array;
+  fu_sub : int option array;  (** per fu: add/sub control input index *)
+  reg_wsel : int array array;
+      (** per register: write-mux select input indices (empty when the
+          register has at most one producing FU) *)
+  written_regs : int list;  (** registers with a next-value output *)
+}
+
+type t = {
+  datapath : Datapath.t;
+  netlist : Hlp_netlist.Netlist.t;
+  layout : layout;
+}
+
+(** [elaborate dp] builds the combinational netlist. *)
+val elaborate : Datapath.t -> t
+
+(** [num_inputs t] is the primary-input count of the netlist. *)
+val num_inputs : t -> int
+
+(** [set_reg_bits t buffer ~reg ~value] writes the bits of [value] into
+    the input [buffer] at register [reg]'s positions. *)
+val set_reg_bits : t -> bool array -> reg:int -> value:int -> unit
+
+(** [set_controls t buffer ~step] drives every select and sub line from
+    the datapath's control table for [step] (idle FUs keep select 0). *)
+val set_controls : t -> bool array -> step:int -> unit
+
+(** [output_name ~reg ~bit] is the primary-output name of bit [bit] of
+    register [reg]'s next value. *)
+val output_name : reg:int -> bit:int -> string
+
+(** [read_outputs t outputs ~reg] decodes register [reg]'s next-value word
+    from named output values ([None] if [reg] is never FU-written). *)
+val read_outputs : t -> (string * bool) list -> reg:int -> int option

@@ -1,0 +1,77 @@
+module Binding = Hlp_core.Binding
+module Mapper = Hlp_mapper.Mapper
+
+type config = {
+  width : int;
+  k : int;
+  vectors : int;
+  seed : string;
+  check : bool;
+  model : Power.model;
+  objective : Mapper.objective;
+}
+
+let default_config =
+  {
+    width = 16;
+    k = 4;
+    vectors = 1000;
+    seed = "flow";
+    check = true;
+    model = Power.default_model;
+    objective = Mapper.Min_sa;
+  }
+
+type report = {
+  design : string;
+  dynamic_power_mw : float;
+  clock_period_ns : float;
+  luts : int;
+  largest_mux : int;
+  mux_length : int;
+  toggle_rate_mhz : float;
+  mux : Binding.mux_stats;
+  est_total_sa : float;
+  est_glitch_sa : float;
+  sim_glitch_fraction : float;
+  cycles : int;
+  depth : int;
+}
+
+let run ?(config = default_config) ~design binding =
+  let dp = Datapath.build ~width:config.width binding in
+  Datapath.validate dp;
+  let elab = Elaborate.elaborate dp in
+  let mapping =
+    Mapper.map ~objective:config.objective elab.Elaborate.netlist ~k:config.k
+  in
+  let network = mapping.Mapper.lut_network in
+  let sim_config =
+    { Sim.vectors = config.vectors; seed = config.seed; check = config.check }
+  in
+  let sim = Sim.run ~config:sim_config elab ~network in
+  let power = Power.analyze config.model ~network ~sim in
+  let mux = Binding.mux_stats binding in
+  {
+    design;
+    dynamic_power_mw = power.Power.dynamic_power_mw;
+    clock_period_ns = power.Power.clock_period_ns;
+    luts = mapping.Mapper.lut_count;
+    largest_mux = mux.Binding.largest_mux;
+    mux_length = mux.Binding.mux_length;
+    toggle_rate_mhz = power.Power.toggle_rate_mhz;
+    mux;
+    est_total_sa = mapping.Mapper.total_sa;
+    est_glitch_sa = mapping.Mapper.glitch_sa;
+    sim_glitch_fraction = power.Power.sim_glitch_fraction;
+    cycles = sim.Sim.cycles;
+    depth = mapping.Mapper.depth;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%s: %.1f mW, clk %.2f ns, %d LUTs (depth %d), largest mux %d, mux \
+     length %d, toggle %.1f M/s, glitch %.0f%%"
+    r.design r.dynamic_power_mw r.clock_period_ns r.luts r.depth
+    r.largest_mux r.mux_length r.toggle_rate_mhz
+    (100. *. r.sim_glitch_fraction)

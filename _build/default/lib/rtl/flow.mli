@@ -1,0 +1,42 @@
+(** The full evaluation pipeline — the substitute for the paper's Quartus
+    II flow (§6.1): binding -> datapath -> gate-level elaboration -> 4-LUT
+    technology mapping -> random-vector glitch-accurate simulation ->
+    power/timing analysis.  One call produces every column the paper
+    reports per benchmark in Table 3 and the toggle rates of Figure 3. *)
+
+module Binding = Hlp_core.Binding
+
+type config = {
+  width : int;  (** datapath word width (default 16, typical DSP data) *)
+  k : int;  (** LUT input count (default 4 — Cyclone II) *)
+  vectors : int;  (** random simulation vectors (default 1000) *)
+  seed : string;  (** vector PRNG seed *)
+  check : bool;  (** verify against the golden CDFG evaluation *)
+  model : Power.model;  (** power/timing constants *)
+  objective : Hlp_mapper.Mapper.objective;  (** mapping objective *)
+}
+
+val default_config : config
+
+type report = {
+  design : string;
+  dynamic_power_mw : float;  (** Table 3: dynamic power *)
+  clock_period_ns : float;  (** Table 3: clock period *)
+  luts : int;  (** Table 3: LUT count *)
+  largest_mux : int;  (** Table 3: largest mux *)
+  mux_length : int;  (** Table 3: mux length *)
+  toggle_rate_mhz : float;  (** Figure 3: average toggle rate *)
+  mux : Binding.mux_stats;  (** Table 4 inputs *)
+  est_total_sa : float;  (** estimator's Eq. 3 SA on the LUT network *)
+  est_glitch_sa : float;  (** estimator's glitch component *)
+  sim_glitch_fraction : float;  (** measured glitch share *)
+  cycles : int;
+  depth : int;
+}
+
+(** [run config ~design binding] executes the pipeline.
+    @raise Failure if the functional check fails. *)
+val run : ?config:config -> design:string -> Binding.t -> report
+
+(** [pp_report] prints a compact human-readable report. *)
+val pp_report : Format.formatter -> report -> unit

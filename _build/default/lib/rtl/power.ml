@@ -1,0 +1,70 @@
+module Nl = Hlp_netlist.Netlist
+
+type model = {
+  vdd : float;
+  c_base_f : float;
+  c_fanout_f : float;
+  t_lut_ns : float;
+  t_route_ns : float;
+  t_seq_ns : float;
+}
+
+let default_model =
+  {
+    vdd = 1.2;
+    c_base_f = 12e-15;
+    c_fanout_f = 6e-15;
+    t_lut_ns = 0.45;
+    t_route_ns = 0.55;
+    t_seq_ns = 1.2;
+  }
+
+let clock_period_ns model ~depth =
+  model.t_seq_ns +. (float_of_int depth *. (model.t_lut_ns +. model.t_route_ns))
+
+type report = {
+  dynamic_power_mw : float;
+  toggle_rate_mhz : float;
+  total_toggles : int;
+  sim_glitch_fraction : float;
+  clock_period_ns : float;
+  frequency_mhz : float;
+}
+
+let analyze model ~network ~sim =
+  let depth = Nl.max_depth network in
+  let period_ns = clock_period_ns model ~depth in
+  let time_s = float_of_int sim.Sim.cycles *. period_ns *. 1e-9 in
+  let fanouts = Nl.fanouts network in
+  (* Energy per net = toggles * C_net * 0.5 * Vdd^2. *)
+  let energy =
+    let acc = ref 0. in
+    Array.iteri
+      (fun id toggles ->
+        let c =
+          model.c_base_f
+          +. (float_of_int (Array.length fanouts.(id)) *. model.c_fanout_f)
+        in
+        acc := !acc +. (float_of_int toggles *. c))
+      sim.Sim.node_toggles;
+    !acc *. 0.5 *. model.vdd *. model.vdd
+  in
+  let power_w = if time_s > 0. then energy /. time_s else 0. in
+  let toggle_rate =
+    if time_s > 0. && sim.Sim.num_signals > 0 then
+      float_of_int sim.Sim.total_toggles
+      /. float_of_int sim.Sim.num_signals /. time_s /. 1e6
+    else 0.
+  in
+  {
+    dynamic_power_mw = power_w *. 1e3;
+    toggle_rate_mhz = toggle_rate;
+    total_toggles = sim.Sim.total_toggles;
+    sim_glitch_fraction =
+      (if sim.Sim.total_toggles > 0 then
+         float_of_int sim.Sim.glitch_toggles
+         /. float_of_int sim.Sim.total_toggles
+       else 0.);
+    clock_period_ns = period_ns;
+    frequency_mhz = (if period_ns > 0. then 1000. /. period_ns else 0.);
+  }

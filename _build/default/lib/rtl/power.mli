@@ -1,0 +1,43 @@
+(** Power and timing models (the PowerPlay / timing-analysis substitute).
+
+    Dynamic power follows the equation the paper quotes in §1,
+    [Pd = 0.5 * SA * C * Vdd^2 * f], applied per net: each net's measured
+    toggle count over the simulated time, times its effective capacitance
+    (a base LUT-output capacitance plus a per-fanout routing term).  The
+    clock period is a Cyclone-II-flavoured critical-path model: a
+    sequential overhead plus one LUT delay and one routing hop per logic
+    level.  Constants are configurable; the defaults are calibrated to the
+    90 nm Cyclone II numbers the paper's setup implies. *)
+
+type model = {
+  vdd : float;  (** supply voltage, volts (Cyclone II core: 1.2 V) *)
+  c_base_f : float;  (** per-net base capacitance, farads *)
+  c_fanout_f : float;  (** additional capacitance per fanout, farads *)
+  t_lut_ns : float;  (** LUT cell delay per level, ns *)
+  t_route_ns : float;  (** routing delay per level, ns *)
+  t_seq_ns : float;  (** clock-to-out + setup overhead, ns *)
+}
+
+val default_model : model
+
+(** [clock_period_ns model ~depth] for a [depth]-level LUT network. *)
+val clock_period_ns : model -> depth:int -> float
+
+(** Per-design power/toggle report. *)
+type report = {
+  dynamic_power_mw : float;
+  toggle_rate_mhz : float;
+      (** average per-signal toggle rate, millions of transitions per
+          second (Figure 3's metric) *)
+  total_toggles : int;
+  sim_glitch_fraction : float;  (** measured glitch share of toggles *)
+  clock_period_ns : float;
+  frequency_mhz : float;
+}
+
+(** [analyze model ~network ~sim] combines the simulator's toggle counts
+    with the LUT network's structure into the report.  The simulated time
+    base is [sim.cycles] clock periods at the model's critical-path
+    frequency. *)
+val analyze :
+  model -> network:Hlp_netlist.Netlist.t -> sim:Sim.result -> report

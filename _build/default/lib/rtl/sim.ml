@@ -1,0 +1,232 @@
+module Nl = Hlp_netlist.Netlist
+module Tt = Hlp_netlist.Truth_table
+module Cdfg = Hlp_cdfg.Cdfg
+module Rng = Hlp_util.Rng
+
+type config = {
+  vectors : int;
+  seed : string;
+  check : bool;
+}
+
+let default_config = { vectors = 1000; seed = "sim"; check = true }
+
+type result = {
+  node_toggles : int array;
+  total_toggles : int;
+  glitch_toggles : int;
+  cycles : int;
+  num_signals : int;
+}
+
+(* Event-driven unit-delay engine over one combinational network.  Each
+   clock cycle applies an input vector at t = 0; value changes propagate
+   one level per time step; every change is a counted transition. *)
+type engine = {
+  net : Nl.t;
+  values : bool array;
+  fanouts : int array array;
+  toggles : int array;
+  (* toggles per node in the *current cycle*, to split out glitches *)
+  cycle_toggles : int array;
+  touched : int list ref;
+  buckets : int array array;  (* per time step, node ids (may repeat) *)
+  mutable bucket_fill : int array;
+  stamped : int array;  (* last time step a node was enqueued, per node *)
+  max_time : int;
+}
+
+let create_engine net =
+  let n = Nl.num_nodes net in
+  let max_time = Nl.max_depth net + 1 in
+  (* Establish a consistent steady state for the all-false input vector
+     before any event processing: without this, constant nodes (which
+     receive no fanin events) would be stuck at false. *)
+  let values = Array.make n false in
+  Array.iter
+    (fun id ->
+      if not (Nl.is_input net id) then begin
+        let node = Nl.node net id in
+        let m = ref 0 in
+        Array.iteri
+          (fun i f -> if values.(f) then m := !m lor (1 lsl i))
+          node.Nl.fanins;
+        values.(id) <- Tt.eval node.Nl.func !m
+      end)
+    (Nl.topo_order net);
+  {
+    net;
+    values;
+    fanouts = Nl.fanouts net;
+    toggles = Array.make n 0;
+    cycle_toggles = Array.make n 0;
+    touched = ref [];
+    buckets = Array.init (max_time + 2) (fun _ -> Array.make 16 0);
+    bucket_fill = Array.make (max_time + 2) 0;
+    stamped = Array.make n (-1);
+    max_time;
+  }
+
+let enqueue e t id =
+  (* Deduplicate within a time bucket using a (cycle * time)-unique stamp:
+     the caller guarantees monotonically increasing global stamps. *)
+  let fill = e.bucket_fill.(t) in
+  let bucket = e.buckets.(t) in
+  let bucket =
+    if fill >= Array.length bucket then begin
+      let bigger = Array.make (2 * Array.length bucket) 0 in
+      Array.blit bucket 0 bigger 0 fill;
+      e.buckets.(t) <- bigger;
+      bigger
+    end
+    else bucket
+  in
+  bucket.(fill) <- id;
+  e.bucket_fill.(t) <- fill + 1
+
+let eval_node e id =
+  let node = Nl.node e.net id in
+  let fanins = node.Nl.fanins in
+  let m = ref 0 in
+  for i = 0 to Array.length fanins - 1 do
+    if e.values.(fanins.(i)) then m := !m lor (1 lsl i)
+  done;
+  Tt.eval node.Nl.func !m
+
+let record_toggle e id =
+  e.toggles.(id) <- e.toggles.(id) + 1;
+  if e.cycle_toggles.(id) = 0 then e.touched := id :: !(e.touched);
+  e.cycle_toggles.(id) <- e.cycle_toggles.(id) + 1
+
+(* Apply new input values at t=0 and settle the network; returns glitch
+   transitions observed this cycle.  [epoch] must strictly increase across
+   calls: per-bucket dedup stamps are [epoch * (max_time + 2) + t], so they
+   never collide between cycles and the stamp array needs no clearing. *)
+let settle e ~epoch (assignment : bool array) =
+  let inputs = Nl.inputs e.net in
+  let stamp_base = epoch * (e.max_time + 2) in
+  Array.fill e.bucket_fill 0 (Array.length e.bucket_fill) 0;
+  Array.iteri
+    (fun k id ->
+      if e.values.(id) <> assignment.(k) then begin
+        e.values.(id) <- assignment.(k);
+        record_toggle e id;
+        Array.iter
+          (fun fo ->
+            if e.stamped.(fo) <> stamp_base + 1 then begin
+              e.stamped.(fo) <- stamp_base + 1;
+              enqueue e 1 fo
+            end)
+          e.fanouts.(id)
+      end)
+    inputs;
+  let t = ref 1 in
+  while !t <= e.max_time + 1 do
+    let fill = e.bucket_fill.(!t) in
+    if fill > 0 then begin
+      let bucket = e.buckets.(!t) in
+      for i = 0 to fill - 1 do
+        let id = bucket.(i) in
+        let v = eval_node e id in
+        if v <> e.values.(id) then begin
+          e.values.(id) <- v;
+          record_toggle e id;
+          let next = min (!t + 1) (e.max_time + 1) in
+          Array.iter
+            (fun fo ->
+              if e.stamped.(fo) <> stamp_base + next then begin
+                e.stamped.(fo) <- stamp_base + next;
+                enqueue e next fo
+              end)
+            e.fanouts.(id)
+        end
+      done;
+      e.bucket_fill.(!t) <- 0
+    end;
+    incr t
+  done;
+  (* Glitches this cycle: transitions beyond one per touched node. *)
+  let glitches =
+    List.fold_left
+      (fun acc id -> acc + max 0 (e.cycle_toggles.(id) - 1))
+      0 !(e.touched)
+  in
+  List.iter (fun id -> e.cycle_toggles.(id) <- 0) !(e.touched);
+  e.touched := [];
+  glitches
+
+let run ?(config = default_config) (elab : Elaborate.t) ~network =
+  let dp = elab.Elaborate.datapath in
+  let binding = dp.Datapath.binding in
+  let schedule = binding.Hlp_core.Binding.schedule in
+  let cdfg = schedule.Hlp_cdfg.Schedule.cdfg in
+  let n_steps = Array.length dp.Datapath.ctrl in
+  let n_regs = Datapath.num_regs dp in
+  let width = dp.Datapath.width in
+  let mask = (1 lsl width) - 1 in
+  let rng = Rng.create config.seed in
+  let e = create_engine network in
+  (* Output-name -> node id, for register next-values. *)
+  let out_node = Hashtbl.create 64 in
+  List.iter (fun (name, id) -> Hashtbl.replace out_node name id)
+    (Nl.outputs network);
+  let next_value reg =
+    if Array.length dp.Datapath.reg_writers.(reg) = 0 then None
+    else begin
+      let v = ref 0 in
+      for bit = 0 to width - 1 do
+        let id = Hashtbl.find out_node (Elaborate.output_name ~reg ~bit) in
+        if e.values.(id) then v := !v lor (1 lsl bit)
+      done;
+      Some !v
+    end
+  in
+  let reg_values = Array.make (max n_regs 1) 0 in
+  let assignment = Array.make (Array.length (Nl.inputs network)) false in
+  let glitches = ref 0 in
+  let cycles = ref 0 in
+  for _vec = 1 to config.vectors do
+    (* Fresh random primary inputs, loaded into their registers. *)
+    let pis = Array.init (Cdfg.num_inputs cdfg) (fun _ -> Rng.int rng (mask + 1)) in
+    List.iter
+      (fun (k, r) -> reg_values.(r) <- pis.(k))
+      dp.Datapath.input_regs;
+    for step = 0 to n_steps - 1 do
+      for r = 0 to n_regs - 1 do
+        Elaborate.set_reg_bits elab assignment ~reg:r ~value:reg_values.(r)
+      done;
+      Elaborate.set_controls elab assignment ~step;
+      glitches := !glitches + settle e ~epoch:!cycles assignment;
+      incr cycles;
+      (* Clock edge: capture next values where a load is scheduled. *)
+      let loads = dp.Datapath.ctrl.(step).Datapath.reg_load in
+      Array.iteri
+        (fun r load ->
+          match load with
+          | Some _ -> (
+              match next_value r with
+              | Some v -> reg_values.(r) <- v
+              | None -> failwith "Sim.run: load from unwritten register")
+          | None -> ())
+        loads
+    done;
+    if config.check then begin
+      let expect = Datapath.golden_eval dp pis in
+      List.iter2
+        (fun (name, want) (name', r) ->
+          assert (name = name');
+          if reg_values.(r) <> want then
+            failwith
+              (Printf.sprintf
+                 "Sim.run: output %s = %d, golden model says %d (vector %d)"
+                 name reg_values.(r) want _vec))
+        expect dp.Datapath.output_regs
+    end
+  done;
+  {
+    node_toggles = e.toggles;
+    total_toggles = Array.fold_left ( + ) 0 e.toggles;
+    glitch_toggles = !glitches;
+    cycles = !cycles;
+    num_signals = Nl.num_nodes network;
+  }

@@ -1,0 +1,44 @@
+(** Cycle-accurate, glitch-accurate simulation of a bound datapath.
+
+    The substitute for Quartus II's simulator (and the source of the
+    toggle data the paper feeds to PowerPlay): random input vectors drive
+    the design through its full schedule; within each clock cycle, events
+    propagate through the combinational network under a unit delay per
+    node (LUT), with {e no glitch filtering} — matching the paper's
+    "glitch filtering = never" setting — so unequal path delays produce
+    counted spurious transitions.  Every signal transition, functional or
+    glitch, increments that signal's toggle counter.
+
+    The simulated network may be the raw gate netlist or (normally) the
+    technology-mapped LUT network: both expose the same primary inputs
+    and next-value outputs, and the simulator checks its end-of-schedule
+    results against {!Datapath.golden_eval} to guard the whole
+    HLS-to-netlist pipeline. *)
+
+module Nl = Hlp_netlist.Netlist
+
+type config = {
+  vectors : int;  (** random input vectors (schedule executions) *)
+  seed : string;  (** PRNG seed for the vector stream *)
+  check : bool;  (** verify outputs against the golden CDFG evaluation *)
+}
+
+(** 1000 vectors (the paper's count), checked, fixed seed. *)
+val default_config : config
+
+type result = {
+  node_toggles : int array;  (** per network node id *)
+  total_toggles : int;
+  glitch_toggles : int;
+      (** transitions beyond the first per node per cycle — the measured
+          glitch component *)
+  cycles : int;  (** clock cycles simulated *)
+  num_signals : int;  (** all nets: inputs + logic nodes *)
+}
+
+(** [run ~config elab ~network] simulates.  [network] must have the same
+    primary-input order and output names as [elab]'s netlist (the raw
+    netlist itself, or its mapped LUT network).
+    @raise Failure if [config.check] is set and outputs diverge from the
+    golden model. *)
+val run : ?config:config -> Elaborate.t -> network:Nl.t -> result

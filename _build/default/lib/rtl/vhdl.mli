@@ -1,0 +1,39 @@
+(** VHDL emission (the paper's CDFG-to-VHDL tool, §6.1).
+
+    Renders a bound datapath as a synthesizable VHDL-93 design: one entity
+    with clock/reset/start, per-primary-input data ports, per-output data
+    ports and a [done] flag; an architecture containing the FSM step
+    counter, the register file with load enables, the FU input and
+    register write multiplexers (explicit [with .. select] form, so RTL
+    synthesis keeps the binding's mux structure), and the adders,
+    subtractor controls and multipliers via [ieee.numeric_std] arithmetic.
+
+    The evaluation flow does not re-parse this text (no VHDL simulator is
+    available in the sealed environment — see DESIGN.md); the same
+    {!Datapath} object drives both the emitter and the measured netlist,
+    so the printed design and the evaluated design coincide by
+    construction.  A structural self-check ({!lint}) guards the output. *)
+
+(** [emit dp ~name] renders the complete design file. *)
+val emit : Datapath.t -> name:string -> string
+
+(** [write_file dp ~name path] writes [emit dp ~name] to [path]. *)
+val write_file : Datapath.t -> name:string -> string -> unit
+
+(** [lint text] runs lightweight structural checks on emitted VHDL
+    (balanced process/end, entity/architecture present, every register
+    declared).  @raise Failure with a diagnostic on violation. *)
+val lint : string -> unit
+
+(** [emit_testbench dp ~name ~vectors ~seed] renders a self-checking VHDL
+    testbench for the design emitted by [emit dp ~name]: it drives
+    [vectors] seeded random input words through the start/done protocol
+    and asserts each output word against {!Datapath.golden_eval} — the
+    same oracle the internal simulator checks against, so a user with a
+    real VHDL simulator can replay our verification there. *)
+val emit_testbench :
+  Datapath.t -> name:string -> vectors:int -> seed:string -> string
+
+(** [write_testbench dp ~name ~vectors ~seed path] writes the testbench. *)
+val write_testbench :
+  Datapath.t -> name:string -> vectors:int -> seed:string -> string -> unit

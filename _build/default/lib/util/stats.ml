@@ -1,0 +1,21 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let sq = List.map (fun x -> (x -. m) *. (x -. m)) xs in
+      List.fold_left ( +. ) 0. sq /. float_of_int (List.length xs)
+
+let percent_change ~from ~to_ =
+  if from = 0. then 0. else 100. *. (to_ -. from) /. from
+
+let geo_mean = function
+  | [] -> 0.
+  | xs ->
+      let logs = List.map log xs in
+      exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length xs))
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,18 @@
+(** Small numeric helpers shared by the evaluation harness and reports. *)
+
+(** [mean xs] is the arithmetic mean; 0. on the empty list. *)
+val mean : float list -> float
+
+(** [variance xs] is the population variance (divide by n); 0. on lists of
+    fewer than two elements. *)
+val variance : float list -> float
+
+(** [percent_change ~from ~to_] is [100 * (to_ - from) / from]; 0. when
+    [from] is 0. *)
+val percent_change : from:float -> to_:float -> float
+
+(** [geo_mean xs] is the geometric mean of strictly positive values. *)
+val geo_mean : float list -> float
+
+(** [clamp ~lo ~hi x] bounds [x] to [lo, hi]. *)
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,1 @@
+test/test_activity.ml: Alcotest Array Float Gen Hlp_activity Hlp_netlist Hlp_util Int64 List Printf QCheck QCheck_alcotest

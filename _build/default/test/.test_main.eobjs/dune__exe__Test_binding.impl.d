@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Filename Fun Hlp_cdfg Hlp_core Hlp_util List Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Filename Fun Gen Hlp_netlist Hlp_util Int64 List Printf QCheck QCheck_alcotest Sys

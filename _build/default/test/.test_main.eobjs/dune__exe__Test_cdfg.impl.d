@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Array Hlp_cdfg List QCheck QCheck_alcotest

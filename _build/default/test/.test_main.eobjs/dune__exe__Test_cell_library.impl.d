@@ -1,0 +1,1 @@
+test/test_cell_library.ml: Alcotest Array Hlp_netlist Hlp_util List Printf QCheck QCheck_alcotest Scanf

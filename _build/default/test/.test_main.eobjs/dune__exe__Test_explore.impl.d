@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Hlp_cdfg Hlp_hls List

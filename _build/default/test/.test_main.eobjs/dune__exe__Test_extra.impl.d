@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Hlp_activity Hlp_cdfg Hlp_core Hlp_mapper Hlp_netlist Hlp_rtl Hlp_util List Printf QCheck QCheck_alcotest

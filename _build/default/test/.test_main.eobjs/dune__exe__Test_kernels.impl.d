@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Hlp_cdfg Hlp_core Hlp_rtl Hlp_util List Printf String

@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Array Hlp_activity Hlp_mapper Hlp_netlist Hlp_util Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_module_select.ml: Alcotest Array Filename Fun Hlp_cdfg Hlp_core Hlp_mapper Hlp_netlist Hlp_rtl List Printf String Sys

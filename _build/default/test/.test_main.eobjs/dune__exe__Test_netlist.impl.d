@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Hlp_netlist

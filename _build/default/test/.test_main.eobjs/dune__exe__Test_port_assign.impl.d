@@ -1,0 +1,1 @@
+test/test_port_assign.ml: Alcotest Array Hlp_cdfg Hlp_core Hlp_rtl List Printf QCheck QCheck_alcotest

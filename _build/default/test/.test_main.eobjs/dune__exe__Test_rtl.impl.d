@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Filename Fun Hlp_cdfg Hlp_core Hlp_mapper Hlp_netlist Hlp_rtl String Sys

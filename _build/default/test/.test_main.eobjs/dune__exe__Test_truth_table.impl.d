@@ -1,0 +1,1 @@
+test/test_truth_table.ml: Alcotest Format Gen Hlp_netlist List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Hlp_activity Hlp_cdfg Hlp_core Hlp_netlist Hlp_util List Printf

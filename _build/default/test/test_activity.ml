@@ -1,0 +1,300 @@
+module Tt = Hlp_netlist.Truth_table
+module Nl = Hlp_netlist.Netlist
+module Cl = Hlp_netlist.Cell_library
+module Prob = Hlp_activity.Prob
+module Sw = Hlp_activity.Switching
+module Timed = Hlp_activity.Timed
+
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+let check_close msg = Alcotest.(check (float 1e-6)) msg
+
+let tt_and = Tt.and_ (Tt.var 0 2) (Tt.var 1 2)
+let tt_or = Tt.or_ (Tt.var 0 2) (Tt.var 1 2)
+let tt_xor = Tt.xor (Tt.var 0 2) (Tt.var 1 2)
+
+let sig_ p s = Sw.signal ~prob:p ~activity:s
+
+(* --- signal probability --- *)
+
+let test_prob_basic_gates () =
+  check_float "and" 0.25 (Prob.of_table tt_and [| 0.5; 0.5 |]);
+  check_float "or" 0.75 (Prob.of_table tt_or [| 0.5; 0.5 |]);
+  check_float "xor" 0.5 (Prob.of_table tt_xor [| 0.5; 0.5 |]);
+  check_float "and skewed" 0.06 (Prob.of_table tt_and [| 0.2; 0.3 |])
+
+let test_prob_const () =
+  check_float "const1" 1.0 (Prob.of_table (Tt.const1 0) [||]);
+  check_float "const0" 0.0 (Prob.of_table (Tt.const0 3) [| 0.1; 0.2; 0.3 |])
+
+let test_prob_netlist () =
+  (* y = (a and b) or c with p=0.5: P = 1 - (1-0.25)(1-0.5) = 0.625 *)
+  let b = Nl.create_builder ~name:"p" in
+  let a = Nl.add_input b "a" in
+  let bb = Nl.add_input b "b" in
+  let c = Nl.add_input b "c" in
+  let ab = Cl.and2 b a bb in
+  let y = Cl.or2 b ab c in
+  Nl.mark_output b "y" y;
+  let t = Nl.freeze b in
+  let probs = Prob.node_probabilities t ~input_prob:Prob.uniform in
+  check_float "or of and" 0.625 probs.(y)
+
+(* --- Eq. 2 switching --- *)
+
+let test_switching_inverter () =
+  (* An inverter switches exactly as often as its input. *)
+  let inv = Tt.not_ (Tt.var 0 1) in
+  let out = Sw.of_table inv [| sig_ 0.3 0.4 |] in
+  check_close "prob" 0.7 out.Sw.prob;
+  check_close "activity" 0.4 out.Sw.activity
+
+let test_switching_and_uncorrelated () =
+  (* AND of independent P=0.5, s=0.5 inputs.  Joint per input:
+     p00=p11=0.25, p01=p10=0.25.  P(y)=0.25.
+     P(y(t)y(t+T)) = P(both inputs 1 at t and t+T) = (0.25)*(0.25)... per
+     input P(1,1)=0.25, so joint = 0.0625.  s = 2*(0.25-0.0625) = 0.375. *)
+  let out = Sw.of_table tt_and [| Sw.default_input; Sw.default_input |] in
+  check_close "and prob" 0.25 out.Sw.prob;
+  check_close "and activity" 0.375 out.Sw.activity
+
+let test_switching_xor_full_activity () =
+  (* XOR with both inputs always switching (s=1, P=0.5): the two flips
+     cancel, so the output never switches — this is exactly the
+     simultaneous-switching effect Eq. 1 misses. *)
+  let hot = sig_ 0.5 1.0 in
+  let out = Sw.of_table tt_xor [| hot; hot |] in
+  check_close "xor cancels" 0. out.Sw.activity;
+  (* Najm's Eq. 1 predicts 2.0 here: boolean difference is 1 for both. *)
+  check_close "najm over-counts" 2.0 (Sw.najm_density tt_xor [| hot; hot |])
+
+let test_switching_static_inputs () =
+  let still = sig_ 0.5 0.0 in
+  let out = Sw.of_table tt_xor [| still; still |] in
+  check_close "no input activity, no output activity" 0. out.Sw.activity
+
+let test_najm_single_input_agreement () =
+  (* With exactly one switching input, Eq. 1 and Eq. 2 agree:
+     s(y) = P(dy/dx) * s(x). *)
+  let f = tt_and in
+  let a = sig_ 0.5 0.3 and b = sig_ 0.8 0.0 in
+  let eq2 = (Sw.of_table f [| a; b |]).Sw.activity in
+  let eq1 = Sw.najm_density f [| a; b |] in
+  check_close "eq1 = eq2 for single switching input" eq1 eq2;
+  check_close "analytic P(b)*s(a)" (0.8 *. 0.3) eq2
+
+let test_signal_clamps_inconsistent () =
+  (* P=0.9 allows at most s = 0.2. *)
+  let s = Sw.signal ~prob:0.9 ~activity:0.8 in
+  check_close "clamped" 0.2 s.Sw.activity
+
+let test_signal_rejects_bad_ranges () =
+  Alcotest.check_raises "prob > 1"
+    (Invalid_argument "Switching.signal: prob range") (fun () ->
+      ignore (Sw.signal ~prob:1.5 ~activity:0.1))
+
+(* Property: activity respects the consistency bound and [0,1]. *)
+let arb_signals_and_table =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 4 >>= fun n ->
+      map2
+        (fun bits params -> (n, bits, params))
+        ui64
+        (list_size (return n)
+           (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.))))
+  in
+  make
+    ~print:(fun (n, bits, _) -> Printf.sprintf "n=%d bits=%Ld" n bits)
+    gen
+
+let prop_eq2_bounds =
+  QCheck.Test.make ~name:"eq2 activity in [0, 2*min(P,1-P)]" ~count:300
+    arb_signals_and_table (fun (n, bits, params) ->
+      let f = Tt.create n bits in
+      let inputs =
+        Array.of_list
+          (List.map (fun (p, s) -> Sw.signal ~prob:p ~activity:s) params)
+      in
+      let out = Sw.of_table f inputs in
+      let bound = 2. *. Float.min out.Sw.prob (1. -. out.Sw.prob) in
+      out.Sw.activity >= -1e-9 && out.Sw.activity <= bound +. 1e-9)
+
+let prop_eq1_dominates_eq2 =
+  (* Najm's density ignores cancellation, so it upper-bounds Eq. 2. *)
+  QCheck.Test.make ~name:"eq1 >= eq2" ~count:300 arb_signals_and_table
+    (fun (n, bits, params) ->
+      let f = Tt.create n bits in
+      let inputs =
+        Array.of_list
+          (List.map (fun (p, s) -> Sw.signal ~prob:p ~activity:s) params)
+      in
+      let eq2 = (Sw.of_table f inputs).Sw.activity in
+      let eq1 = Sw.najm_density f inputs in
+      eq1 >= eq2 -. 1e-9)
+
+(* --- timed / glitch model --- *)
+
+(* Balanced XOR tree: both inputs arrive at time 0 -> single functional
+   transition, no glitches. *)
+let test_timed_balanced_xor () =
+  let b = Nl.create_builder ~name:"balxor" in
+  let a = Nl.add_input b "a" in
+  let c = Nl.add_input b "c" in
+  let y = Cl.xor2 b a c in
+  Nl.mark_output b "y" y;
+  let t = Nl.freeze b in
+  let waves =
+    Timed.propagate t ~delay:(fun _ -> 1) ~input:(fun _ -> Sw.default_input)
+  in
+  let w = waves.(y) in
+  Alcotest.(check int) "single step" 1 (List.length (Timed.steps w));
+  Alcotest.(check int) "arrival 1" 1 (Timed.arrival w);
+  check_close "no glitches" 0. (Timed.glitch_activity w)
+
+(* Unbalanced chain: y = xor(xor(a, b), c): the outer xor sees inputs
+   arriving at times 1 and 0 -> it can switch at both times 1 and 2, so it
+   has glitch activity. *)
+let test_timed_unbalanced_chain_glitches () =
+  let b = Nl.create_builder ~name:"chain" in
+  let a = Nl.add_input b "a" in
+  let bb = Nl.add_input b "b" in
+  let c = Nl.add_input b "c" in
+  let inner = Cl.xor2 b a bb in
+  let outer = Cl.xor2 b inner c in
+  Nl.mark_output b "y" outer;
+  let t = Nl.freeze b in
+  let waves =
+    Timed.propagate t ~delay:(fun _ -> 1) ~input:(fun _ -> Sw.default_input)
+  in
+  let w = waves.(outer) in
+  Alcotest.(check int) "two steps" 2 (List.length (Timed.steps w));
+  Alcotest.(check int) "arrival 2" 2 (Timed.arrival w);
+  Alcotest.(check bool) "glitches present" true
+    (Timed.glitch_activity w > 0.01)
+
+let test_timed_summary_decomposition () =
+  let t =
+    Cl.partial_datapath ~fu:Cl.Adder ~width:4 ~left_inputs:3 ~right_inputs:1 ()
+  in
+  let s = Timed.estimate t in
+  check_close "total = functional + glitch" s.Timed.total_sa
+    (s.Timed.functional_sa +. s.Timed.glitch_sa);
+  Alcotest.(check bool) "glitch >= 0" true (s.Timed.glitch_sa >= -1e-9);
+  Alcotest.(check bool) "ripple adder glitches" true (s.Timed.glitch_sa > 0.)
+
+let test_timed_port_skew_increases_sa () =
+  (* The paper's core mechanism: unbalanced arrival times at the two input
+     ports of a functional unit create glitches along its carry chain.
+     Skew one operand of an adder through buffer chains and compare. *)
+  let adder_sa skew =
+    let b = Nl.create_builder ~name:"skewed" in
+    let a_raw = Cl.input_word b ~prefix:"a" ~width:8 in
+    let b_raw = Cl.input_word b ~prefix:"b" ~width:8 in
+    let buffer id = Nl.add_node b ~name:"buf" ~func:(Tt.var 0 1)
+        ~fanins:[| id |] in
+    let rec delay n id = if n = 0 then id else delay (n - 1) (buffer id) in
+    let a = Array.map (delay skew) a_raw in
+    let cin = Nl.add_const b false in
+    let sum, _ = Cl.ripple_adder b ~a ~b_in:b_raw ~cin in
+    Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "s%d" i) id) sum;
+    let t = Nl.freeze b in
+    let waves =
+      Timed.propagate t ~delay:(fun _ -> 1) ~input:(fun _ -> Sw.default_input)
+    in
+    (* Count only the adder's own nodes (exclude the buffers, which add a
+       fixed amount of activity of their own). *)
+    let buffer_count = 8 * skew in
+    let s = Timed.summarize t waves in
+    s.Timed.total_sa -. (0.5 *. float_of_int buffer_count)
+  in
+  let balanced = adder_sa 0 and skewed = adder_sa 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed ports (%.2f) > balanced (%.2f)" skewed balanced)
+    true (skewed > balanced)
+
+let test_timed_const_node () =
+  let b = Nl.create_builder ~name:"k" in
+  let _ = Nl.add_input b "a" in
+  let c = Nl.add_const b true in
+  Nl.mark_output b "y" c;
+  let t = Nl.freeze b in
+  let waves =
+    Timed.propagate t ~delay:(fun _ -> 1) ~input:(fun _ -> Sw.default_input)
+  in
+  check_close "const prob 1" 1. (Timed.prob waves.(c));
+  check_close "const never switches" 0. (Timed.total_activity waves.(c))
+
+let test_node_waveform_rejects_zero_delay () =
+  Alcotest.check_raises "delay 0"
+    (Invalid_argument "Timed.node_waveform: delay must be >= 1") (fun () ->
+      ignore
+        (Timed.node_waveform (Tt.var 0 1)
+           ~fanins:[| Timed.input_waveform Sw.default_input |]
+           ~delay:0))
+
+let prop_timed_total_at_least_zero_delay_functional =
+  (* The functional component at the arrival time is <= the zero-delay
+     estimate of the same node; totals exceed it when glitches occur. *)
+  QCheck.Test.make ~name:"glitch component is nonnegative" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Hlp_util.Rng.create (string_of_int seed) in
+      let b = Nl.create_builder ~name:"r" in
+      let pool = ref [] in
+      for i = 0 to 3 do
+        pool := Nl.add_input b (Printf.sprintf "i%d" i) :: !pool
+      done;
+      let last = ref (List.hd !pool) in
+      for _ = 1 to 12 do
+        let arr = Array.of_list !pool in
+        let x = Hlp_util.Rng.pick rng arr and y = Hlp_util.Rng.pick rng arr in
+        let f = Tt.create 2 (Int64.of_int (Hlp_util.Rng.int rng 16)) in
+        let id = Nl.add_node b ~name:"g" ~func:f ~fanins:[| x; y |] in
+        pool := id :: !pool;
+        last := id
+      done;
+      Nl.mark_output b "y" !last;
+      let t = Nl.freeze b in
+      let s = Timed.estimate t in
+      s.Timed.glitch_sa >= -1e-9
+      && s.Timed.total_sa >= s.Timed.functional_sa -. 1e-9)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_eq2_bounds; prop_eq1_dominates_eq2;
+      prop_timed_total_at_least_zero_delay_functional ]
+
+let suite =
+  [
+    Alcotest.test_case "prob of basic gates" `Quick test_prob_basic_gates;
+    Alcotest.test_case "prob of constants" `Quick test_prob_const;
+    Alcotest.test_case "prob over netlist" `Quick test_prob_netlist;
+    Alcotest.test_case "inverter passes activity" `Quick
+      test_switching_inverter;
+    Alcotest.test_case "and activity (analytic)" `Quick
+      test_switching_and_uncorrelated;
+    Alcotest.test_case "xor simultaneous switching cancels" `Quick
+      test_switching_xor_full_activity;
+    Alcotest.test_case "static inputs, static output" `Quick
+      test_switching_static_inputs;
+    Alcotest.test_case "eq1 = eq2 for single switching input" `Quick
+      test_najm_single_input_agreement;
+    Alcotest.test_case "signal clamps inconsistent activity" `Quick
+      test_signal_clamps_inconsistent;
+    Alcotest.test_case "signal rejects bad ranges" `Quick
+      test_signal_rejects_bad_ranges;
+    Alcotest.test_case "balanced xor has no glitch" `Quick
+      test_timed_balanced_xor;
+    Alcotest.test_case "unbalanced chain glitches" `Quick
+      test_timed_unbalanced_chain_glitches;
+    Alcotest.test_case "summary decomposition" `Quick
+      test_timed_summary_decomposition;
+    Alcotest.test_case "port arrival skew increases SA" `Quick
+      test_timed_port_skew_increases_sa;
+    Alcotest.test_case "constant nodes in timed model" `Quick
+      test_timed_const_node;
+    Alcotest.test_case "reject zero delay" `Quick
+      test_node_waveform_rejects_zero_delay;
+  ]
+  @ props

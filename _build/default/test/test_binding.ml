@@ -1,0 +1,319 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Lopass = Hlp_core.Lopass
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Shared SA table: 4-bit datapath keeps cell generation fast in tests. *)
+let sa_table = Sa_table.create ~width:4 ~k:4 ()
+
+let setup ?resources cdfg =
+  let resources =
+    match resources with
+    | Some r -> r
+    | None -> fun _ -> max 1 (Cdfg.num_ops cdfg)
+  in
+  let schedule = Schedule.list_schedule cdfg ~resources in
+  let lt = Lifetime.analyze schedule in
+  let regs = Reg_binding.bind lt in
+  (schedule, regs, resources)
+
+let min_resources schedule cls = max 1 (Schedule.max_density schedule cls)
+
+(* --- register binding --- *)
+
+let test_reg_binding_fig1 () =
+  let s = Benchmarks.fig1 () in
+  let lt = Lifetime.analyze s in
+  let regs = Reg_binding.bind lt in
+  Reg_binding.validate regs;
+  check_int "allocation = max live" (Lifetime.max_live lt)
+    (Reg_binding.num_regs regs)
+
+let test_reg_binding_benchmarks () =
+  List.iter
+    (fun p ->
+      let g = Benchmarks.generate p in
+      let schedule =
+        Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+      in
+      let lt = Lifetime.analyze schedule in
+      let regs = Reg_binding.bind lt in
+      Reg_binding.validate regs)
+    Benchmarks.all
+
+let prop_reg_binding_valid_random =
+  QCheck.Test.make ~name:"register binding valid on random firs" ~count:30
+    QCheck.(pair (int_range 1 10) (pair (int_range 1 3) (int_range 1 3)))
+    (fun (taps, (a, m)) ->
+      let g = Benchmarks.fir ~taps in
+      let resources = function Cdfg.Add_sub -> a | Cdfg.Multiplier -> m in
+      let s = Schedule.list_schedule g ~resources in
+      let regs = Reg_binding.bind (Lifetime.analyze s) in
+      Reg_binding.validate regs;
+      true)
+
+(* --- sa table --- *)
+
+let test_sa_table_monotone_in_size () =
+  (* More mux inputs -> more logic -> more switching. *)
+  let sa l r = Sa_table.lookup sa_table Cdfg.Add_sub ~left:l ~right:r in
+  check_bool "2x2 > 1x1" true (sa 2 2 > sa 1 1);
+  check_bool "4x4 > 2x2" true (sa 4 4 > sa 2 2)
+
+let test_sa_table_symmetric () =
+  let a = Sa_table.lookup sa_table Cdfg.Multiplier ~left:3 ~right:1 in
+  let b = Sa_table.lookup sa_table Cdfg.Multiplier ~left:1 ~right:3 in
+  Alcotest.(check (float 1e-9)) "symmetric" a b
+
+let test_sa_table_mult_heavier () =
+  let add = Sa_table.lookup sa_table Cdfg.Add_sub ~left:2 ~right:2 in
+  let mult = Sa_table.lookup sa_table Cdfg.Multiplier ~left:2 ~right:2 in
+  check_bool "multiplier switches more" true (mult > add)
+
+let test_sa_table_roundtrip () =
+  ignore (Sa_table.lookup sa_table Cdfg.Add_sub ~left:2 ~right:3);
+  let path = Filename.temp_file "sa" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sa_table.save sa_table path;
+      let loaded = Sa_table.load path in
+      check_int "width preserved" (Sa_table.width sa_table)
+        (Sa_table.width loaded);
+      List.iter2
+        (fun (c1, l1, r1, s1) (c2, l2, r2, s2) ->
+          check_bool "same key" true (c1 = c2 && l1 = l2 && r1 = r2);
+          Alcotest.(check (float 1e-6)) "same sa" s1 s2)
+        (Sa_table.entries sa_table) (Sa_table.entries loaded))
+
+let test_sa_table_rejects_bad_size () =
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Sa_table.lookup: bad mux size") (fun () ->
+      ignore (Sa_table.lookup sa_table Cdfg.Add_sub ~left:0 ~right:1))
+
+(* --- hlpower binding --- *)
+
+let test_hlpower_fig1 () =
+  (* The paper's example ends with 2 adders and 1 multiplier. *)
+  let s = Benchmarks.fig1 () in
+  let regs = Reg_binding.bind (Lifetime.analyze s) in
+  let r =
+    Hlpower.bind ~sa_table ~regs ~resources:(min_resources s) s
+  in
+  Binding.validate r.Hlpower.binding;
+  check_int "2 adders" 2 (Binding.num_fus r.Hlpower.binding Cdfg.Add_sub);
+  check_int "1 multiplier" 1
+    (Binding.num_fus r.Hlpower.binding Cdfg.Multiplier);
+  check_int "no promotion" 0 r.Hlpower.promoted
+
+let test_hlpower_meets_minimum_on_benchmarks () =
+  (* Theorem 1: single-cycle resources always reach the lower bound. *)
+  List.iter
+    (fun name ->
+      let p = Benchmarks.find name in
+      let g = Benchmarks.generate p in
+      let schedule =
+        Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+      in
+      let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+      let r =
+        Hlpower.bind ~sa_table ~regs ~resources:(min_resources schedule)
+          schedule
+      in
+      Binding.validate r.Hlpower.binding;
+      List.iter
+        (fun cls ->
+          check_int
+            (name ^ " minimum allocation " ^ Cdfg.class_to_string cls)
+            (Schedule.max_density schedule cls)
+            (Binding.num_fus r.Hlpower.binding cls))
+        Cdfg.all_classes)
+    [ "pr"; "wang"; "honda" ]
+
+let test_hlpower_rejects_infeasible_bound () =
+  let g = Benchmarks.fir ~taps:4 in
+  let schedule, regs, _ = setup g in
+  check_bool "too-small bound rejected" true
+    (try
+       ignore
+         (Hlpower.bind ~sa_table ~regs ~resources:(fun _ -> 1) schedule);
+       (* Density may be 1 if the schedule serialized everything; only fail
+          when density was actually above the bound. *)
+       Schedule.max_density schedule Cdfg.Multiplier <= 1
+     with Failure _ -> true)
+
+let test_hlpower_respects_constraint_above_minimum () =
+  let p = Benchmarks.find "pr" in
+  let g = Benchmarks.generate p in
+  let schedule =
+    Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+  in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let loose cls = min_resources schedule cls + 2 in
+  let r = Hlpower.bind ~sa_table ~regs ~resources:loose schedule in
+  Binding.validate r.Hlpower.binding;
+  List.iter
+    (fun cls ->
+      check_bool "within constraint" true
+        (Binding.num_fus r.Hlpower.binding cls <= loose cls))
+    Cdfg.all_classes
+
+let test_hlpower_multicycle_promotion_path () =
+  (* With a 2-cycle multiplier, Theorem 1 does not hold; binding must
+     still succeed (possibly with promotions) under a loose bound. *)
+  let latency = function Cdfg.Mult -> 2 | Cdfg.Add | Cdfg.Sub -> 1 in
+  let g = Benchmarks.fir ~taps:5 in
+  let resources = function Cdfg.Add_sub -> 2 | Cdfg.Multiplier -> 2 in
+  let schedule = Schedule.list_schedule ~latency g ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let r = Hlpower.bind ~sa_table ~regs ~resources schedule in
+  Binding.validate r.Hlpower.binding;
+  check_bool "constraint met" true
+    (Binding.num_fus r.Hlpower.binding Cdfg.Multiplier <= 2)
+
+let test_edge_weight_shape () =
+  let params = Hlpower.default_params in
+  let w l r = Hlpower.edge_weight ~params ~sa_table ~cls:Cdfg.Add_sub
+      ~left:l ~right:r in
+  (* Balanced merge with the same SA class beats unbalanced at equal total
+     size when alpha < 1 and SA is close. *)
+  check_bool "weights positive" true (w 3 3 > 0. && w 5 1 > 0.);
+  let alpha1 = { params with Hlpower.alpha = 1.0 } in
+  let w1 l r = Hlpower.edge_weight ~params:alpha1 ~sa_table
+      ~cls:Cdfg.Add_sub ~left:l ~right:r in
+  (* With alpha = 1, only SA matters: symmetric in sizes by construction. *)
+  Alcotest.(check (float 1e-9)) "alpha=1 symmetric" (w1 4 2) (w1 2 4)
+
+(* --- lopass + comparison --- *)
+
+let test_lopass_valid_on_benchmarks () =
+  List.iter
+    (fun name ->
+      let p = Benchmarks.find name in
+      let g = Benchmarks.generate p in
+      let schedule =
+        Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+      in
+      let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+      let b = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
+      Binding.validate b)
+    [ "pr"; "wang"; "dir" ]
+
+let test_same_fu_count () =
+  (* Table 4's note: the same number of muxes (FUs) in all solutions. *)
+  let p = Benchmarks.find "wang" in
+  let g = Benchmarks.generate p in
+  let schedule =
+    Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+  in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let lop = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
+  let hlp =
+    Hlpower.bind ~sa_table ~regs ~resources:(min_resources schedule) schedule
+  in
+  List.iter
+    (fun cls ->
+      check_int "same FU count"
+        (Binding.num_fus lop cls)
+        (Binding.num_fus hlp.Hlpower.binding cls))
+    Cdfg.all_classes
+
+let test_mux_stats_sanity () =
+  let p = Benchmarks.find "pr" in
+  let g = Benchmarks.generate p in
+  let schedule =
+    Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+  in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let b = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
+  let s = Binding.mux_stats b in
+  check_bool "largest mux >= 2" true (s.Binding.largest_mux >= 2);
+  check_bool "length >= largest" true
+    (s.Binding.mux_length >= s.Binding.largest_mux);
+  check_int "num_fu matches" (List.length b.Binding.fus) s.Binding.num_fu;
+  check_bool "variance nonneg" true (s.Binding.fu_mux_diff_var >= 0.)
+
+let test_alpha_half_balances_muxes () =
+  (* The key Table 4 trend: averaged over benchmarks, alpha = 0.5 gives a
+     smaller mean muxDiff than alpha = 1 (no balancing term).  Averaging
+     matters: individual instances are noisy, the trend is not. *)
+  let run name alpha =
+    let p = Benchmarks.find name in
+    let g = Benchmarks.generate p in
+    let schedule =
+      Schedule.list_schedule g ~resources:(Benchmarks.resources p)
+    in
+    let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+    let params = Hlpower.calibrate ~alpha sa_table in
+    let r =
+      Hlpower.bind ~params ~sa_table ~regs
+        ~resources:(min_resources schedule) schedule
+    in
+    (Binding.mux_stats r.Hlpower.binding).Binding.fu_mux_diff_mean
+  in
+  let names = [ "dir"; "mcm"; "pr"; "wang"; "honda" ] in
+  let mean alpha =
+    Hlp_util.Stats.mean (List.map (fun n -> run n alpha) names)
+  in
+  let m05 = mean 0.5 and m1 = mean 1.0 in
+  check_bool
+    (Printf.sprintf "avg muxDiff: alpha=0.5 (%.2f) < alpha=1 (%.2f)" m05 m1)
+    true (m05 < m1)
+
+(* Property: HLPower bindings are always valid and within constraint. *)
+let prop_hlpower_valid =
+  QCheck.Test.make ~name:"hlpower valid on random firs" ~count:15
+    QCheck.(pair (int_range 2 9) (pair (int_range 1 3) (int_range 1 3)))
+    (fun (taps, (a, m)) ->
+      let g = Benchmarks.fir ~taps in
+      let resources = function Cdfg.Add_sub -> a | Cdfg.Multiplier -> m in
+      let schedule = Schedule.list_schedule g ~resources in
+      let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+      let r = Hlpower.bind ~sa_table ~regs ~resources schedule in
+      Binding.validate r.Hlpower.binding;
+      List.for_all
+        (fun cls -> Binding.num_fus r.Hlpower.binding cls <= resources cls)
+        Cdfg.all_classes)
+
+let suite =
+  [
+    Alcotest.test_case "reg binding fig1" `Quick test_reg_binding_fig1;
+    Alcotest.test_case "reg binding on benchmarks" `Slow
+      test_reg_binding_benchmarks;
+    Alcotest.test_case "sa table monotone" `Quick
+      test_sa_table_monotone_in_size;
+    Alcotest.test_case "sa table symmetric" `Quick test_sa_table_symmetric;
+    Alcotest.test_case "multiplier heavier than adder" `Quick
+      test_sa_table_mult_heavier;
+    Alcotest.test_case "sa table file roundtrip" `Quick
+      test_sa_table_roundtrip;
+    Alcotest.test_case "sa table rejects bad size" `Quick
+      test_sa_table_rejects_bad_size;
+    Alcotest.test_case "hlpower on fig1" `Quick test_hlpower_fig1;
+    Alcotest.test_case "hlpower reaches minimum (Theorem 1)" `Slow
+      test_hlpower_meets_minimum_on_benchmarks;
+    Alcotest.test_case "hlpower rejects infeasible bound" `Quick
+      test_hlpower_rejects_infeasible_bound;
+    Alcotest.test_case "hlpower respects loose constraint" `Quick
+      test_hlpower_respects_constraint_above_minimum;
+    Alcotest.test_case "hlpower multicycle promotion" `Quick
+      test_hlpower_multicycle_promotion_path;
+    Alcotest.test_case "edge weight shape" `Quick test_edge_weight_shape;
+    Alcotest.test_case "lopass valid on benchmarks" `Slow
+      test_lopass_valid_on_benchmarks;
+    Alcotest.test_case "same FU count across binders" `Quick
+      test_same_fu_count;
+    Alcotest.test_case "mux stats sanity" `Quick test_mux_stats_sanity;
+    Alcotest.test_case "alpha 0.5 balances muxes" `Slow
+      test_alpha_half_balances_muxes;
+    QCheck_alcotest.to_alcotest prop_hlpower_valid;
+    QCheck_alcotest.to_alcotest prop_reg_binding_valid_random;
+  ]

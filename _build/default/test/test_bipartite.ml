@@ -1,0 +1,122 @@
+module Bp = Hlp_core.Bipartite
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Brute force over all matchings (small sizes). *)
+let brute_force ~n_left ~n_right ~weight =
+  let best = ref 0. in
+  let rec go i used acc =
+    if i = n_left then best := max !best acc
+    else begin
+      (* leave i unmatched *)
+      go (i + 1) used acc;
+      for j = 0 to n_right - 1 do
+        if not (List.mem j used) then
+          match weight i j with
+          | Some w -> go (i + 1) (j :: used) (acc +. w)
+          | None -> ()
+      done
+    end
+  in
+  go 0 [] 0.;
+  !best
+
+let weight_of_matrix m i j = m.(i).(j)
+
+let test_simple_2x2 () =
+  let m = [| [| Some 1.; Some 10. |]; [| Some 10.; Some 1. |] |] in
+  let pairs =
+    Bp.max_weight_matching ~n_left:2 ~n_right:2 ~weight:(weight_of_matrix m)
+  in
+  check_float "anti-diagonal" 20.
+    (Bp.total_weight ~weight:(weight_of_matrix m) pairs)
+
+let test_unbalanced () =
+  let m = [| [| Some 5.; Some 1.; Some 3. |] |] in
+  let pairs =
+    Bp.max_weight_matching ~n_left:1 ~n_right:3 ~weight:(weight_of_matrix m)
+  in
+  (match pairs with
+  | [ (0, 0) ] -> ()
+  | _ -> Alcotest.fail "expected (0,0)");
+  check_int "one pair" 1 (List.length pairs)
+
+let test_sparse_prefers_real_edges () =
+  (* Forced structure: left 0 only connects to right 1. *)
+  let m = [| [| None; Some 2. |]; [| Some 3.; Some 4. |] |] in
+  let pairs =
+    Bp.max_weight_matching ~n_left:2 ~n_right:2 ~weight:(weight_of_matrix m)
+  in
+  check_float "total 5" 5. (Bp.total_weight ~weight:(weight_of_matrix m) pairs)
+
+let test_no_edges () =
+  let pairs =
+    Bp.max_weight_matching ~n_left:3 ~n_right:3 ~weight:(fun _ _ -> None)
+  in
+  check_int "empty" 0 (List.length pairs)
+
+let test_empty_sides () =
+  check_int "0 left" 0
+    (List.length
+       (Bp.max_weight_matching ~n_left:0 ~n_right:5 ~weight:(fun _ _ ->
+            Some 1.)));
+  check_int "0 right" 0
+    (List.length
+       (Bp.max_weight_matching ~n_left:4 ~n_right:0 ~weight:(fun _ _ ->
+            Some 1.)))
+
+let test_rejects_nonpositive () =
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Bipartite.max_weight_matching: non-positive weight")
+    (fun () ->
+      ignore
+        (Bp.max_weight_matching ~n_left:1 ~n_right:1 ~weight:(fun _ _ ->
+             Some 0.)))
+
+let test_maximal_when_positive () =
+  (* All-positive complete graphs must produce a perfect matching on the
+     smaller side. *)
+  let pairs =
+    Bp.max_weight_matching ~n_left:3 ~n_right:5 ~weight:(fun i j ->
+        Some (1. +. float_of_int ((i * 7) + j)))
+  in
+  check_int "3 pairs" 3 (List.length pairs)
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"hungarian = brute force (random sparse)" ~count:200
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_range 0 10000))
+    (fun (nl, nr, seed) ->
+      let rng = Hlp_util.Rng.create (string_of_int seed) in
+      let m =
+        Array.init nl (fun _ ->
+            Array.init nr (fun _ ->
+                if Hlp_util.Rng.float rng 1. < 0.3 then None
+                else Some (1. +. float_of_int (Hlp_util.Rng.int rng 100))))
+      in
+      let weight = weight_of_matrix m in
+      let pairs = Bp.max_weight_matching ~n_left:nl ~n_right:nr ~weight in
+      (* valid matching *)
+      let ls = List.map fst pairs and rs = List.map snd pairs in
+      let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+      distinct ls && distinct rs
+      && List.for_all (fun (i, j) -> weight i j <> None) pairs
+      && abs_float
+           (Bp.total_weight ~weight pairs
+           -. brute_force ~n_left:nl ~n_right:nr ~weight)
+         < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "simple 2x2" `Quick test_simple_2x2;
+    Alcotest.test_case "unbalanced" `Quick test_unbalanced;
+    Alcotest.test_case "sparse structure respected" `Quick
+      test_sparse_prefers_real_edges;
+    Alcotest.test_case "no edges" `Quick test_no_edges;
+    Alcotest.test_case "empty sides" `Quick test_empty_sides;
+    Alcotest.test_case "rejects non-positive weights" `Quick
+      test_rejects_nonpositive;
+    Alcotest.test_case "complete graph gives perfect matching" `Quick
+      test_maximal_when_positive;
+    QCheck_alcotest.to_alcotest prop_matches_brute_force;
+  ]

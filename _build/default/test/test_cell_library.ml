@@ -1,0 +1,227 @@
+module Nl = Hlp_netlist.Netlist
+module Cl = Hlp_netlist.Cell_library
+module Rng = Hlp_util.Rng
+
+let check_int = Alcotest.(check int)
+
+(* Helpers: evaluate a word-level cell netlist on integer operands. *)
+
+let bits_of_int v width = Array.init width (fun i -> v land (1 lsl i) <> 0)
+
+let int_of_values values word =
+  Array.to_list word
+  |> List.mapi (fun i id -> if values.(id) then 1 lsl i else 0)
+  |> List.fold_left ( lor ) 0
+
+(* Build an adder netlist of [width] and return a function int -> int -> int
+   computing its output. *)
+let make_add_sub width ~sub =
+  let b = Nl.create_builder ~name:"addsub" in
+  let a = Cl.input_word b ~prefix:"a" ~width in
+  let bw = Cl.input_word b ~prefix:"b" ~width in
+  let s = if sub then Nl.add_const b true else Nl.add_const b false in
+  let sum = Cl.add_sub b ~a ~b_in:bw ~sub:s in
+  Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "s%d" i) id) sum;
+  let t = Nl.freeze b in
+  fun x y ->
+    let assignment = Array.append (bits_of_int x width) (bits_of_int y width) in
+    int_of_values (Nl.eval t assignment) sum
+
+let make_mult width ~truncate =
+  let b = Nl.create_builder ~name:"mult" in
+  let a = Cl.input_word b ~prefix:"a" ~width in
+  let bw = Cl.input_word b ~prefix:"b" ~width in
+  let p = Cl.array_multiplier b ~a ~b_in:bw ~truncate in
+  Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "p%d" i) id) p;
+  let t = Nl.freeze b in
+  ( (fun x y ->
+      let assignment =
+        Array.append (bits_of_int x width) (bits_of_int y width)
+      in
+      int_of_values (Nl.eval t assignment) p),
+    t )
+
+let test_adder_exhaustive_4bit () =
+  let add = make_add_sub 4 ~sub:false in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check_int (Printf.sprintf "%d+%d" x y) ((x + y) land 15) (add x y)
+    done
+  done
+
+let test_subtractor_exhaustive_4bit () =
+  let sub = make_add_sub 4 ~sub:true in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check_int (Printf.sprintf "%d-%d" x y) ((x - y) land 15) (sub x y)
+    done
+  done
+
+let test_multiplier_exhaustive_4bit_full () =
+  let mult, _ = make_mult 4 ~truncate:false in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check_int (Printf.sprintf "%d*%d full" x y) (x * y) (mult x y)
+    done
+  done
+
+let test_multiplier_exhaustive_4bit_truncated () =
+  let mult, _ = make_mult 4 ~truncate:true in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      check_int (Printf.sprintf "%d*%d trunc" x y) (x * y land 15) (mult x y)
+    done
+  done
+
+let test_multiplier_width1 () =
+  let mult, _ = make_mult 1 ~truncate:false in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      check_int "1-bit mult" (x * y) (mult x y)
+    done
+  done
+
+let test_truncated_smaller () =
+  let _, full = make_mult 6 ~truncate:false in
+  let _, trunc = make_mult 6 ~truncate:true in
+  Alcotest.(check bool)
+    "truncated multiplier uses fewer gates" true
+    (Nl.num_logic_nodes trunc < Nl.num_logic_nodes full)
+
+let prop_adder_8bit =
+  QCheck.Test.make ~name:"8-bit adder matches integer addition" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let add = make_add_sub 8 ~sub:false in
+      add x y = (x + y) land 255)
+
+let prop_mult_8bit =
+  QCheck.Test.make ~name:"8-bit multiplier matches integer product" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (x, y) ->
+      let mult, _ = make_mult 8 ~truncate:false in
+      mult x y = x * y)
+
+let test_mux_tree_sizes () =
+  (* For every mux size 1..9, check select behaviour on 3-bit words. *)
+  let width = 3 in
+  for n = 1 to 9 do
+    let b = Nl.create_builder ~name:"mux" in
+    let data =
+      Array.init n (fun k ->
+          Cl.input_word b ~prefix:(Printf.sprintf "d%d_" k) ~width)
+    in
+    let sel = Cl.input_word b ~prefix:"s" ~width:(Cl.sel_bits n) in
+    let out = Cl.mux_tree b ~sel ~data in
+    Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "y%d" i) id) out;
+    let t = Nl.freeze b in
+    for choice = 0 to n - 1 do
+      (* Distinct word per input so selection is observable. *)
+      let words = Array.init n (fun k -> (k * 3 + 1) land 7) in
+      let assignment =
+        Array.concat
+          (Array.to_list (Array.map (fun w -> bits_of_int w width) words)
+          @ [ bits_of_int choice (Cl.sel_bits n) ])
+      in
+      let values = Nl.eval t assignment in
+      check_int
+        (Printf.sprintf "mux%d select %d" n choice)
+        words.(choice) (int_of_values values out)
+    done
+  done
+
+let test_sel_bits () =
+  List.iter
+    (fun (n, expect) -> check_int (Printf.sprintf "sel_bits %d" n) expect
+        (Cl.sel_bits n))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (16, 4); (17, 5) ]
+
+let test_partial_datapath_shapes () =
+  (* Mux sizes of 1 degenerate to wires; outputs equal the datapath width. *)
+  List.iter
+    (fun (fu, l, r) ->
+      let t = Cl.partial_datapath ~fu ~width:4 ~left_inputs:l ~right_inputs:r () in
+      Nl.validate t;
+      check_int "outputs = width" 4 (List.length (Nl.outputs t));
+      let sub_control = match fu with Cl.Adder -> 1 | Cl.Multiplier -> 0 in
+      let expected_inputs =
+        (4 * (l + r)) + Cl.sel_bits l + Cl.sel_bits r + sub_control
+      in
+      check_int "input count" expected_inputs (Array.length (Nl.inputs t)))
+    [ (Cl.Adder, 1, 1); (Cl.Adder, 2, 3); (Cl.Multiplier, 1, 4);
+      (Cl.Multiplier, 5, 2) ]
+
+let test_partial_datapath_add_semantics () =
+  (* With 2-input muxes on both sides, selecting words and adding. *)
+  let width = 4 in
+  let t =
+    Cl.partial_datapath ~fu:Cl.Adder ~width ~left_inputs:2 ~right_inputs:2 ()
+  in
+  (* Inputs in declaration order: L0 word, L1 word, Lsel, R0, R1, Rsel. *)
+  let l0 = 5 and l1 = 9 and r0 = 3 and r1 = 12 in
+  let run lsel rsel =
+    let assignment =
+      Array.concat
+        [
+          bits_of_int l0 width; bits_of_int l1 width;
+          [| lsel |];
+          bits_of_int r0 width; bits_of_int r1 width;
+          [| rsel |];
+          [| false |] (* SUB control held low: add *);
+        ]
+    in
+    let values = Nl.eval t assignment in
+    List.fold_left
+      (fun acc (name, id) ->
+        Scanf.sscanf name "S%d" (fun i ->
+            acc lor if values.(id) then 1 lsl i else 0))
+      0 (Nl.outputs t)
+  in
+  check_int "L0+R0" ((l0 + r0) land 15) (run false false);
+  check_int "L1+R1" ((l1 + r1) land 15) (run true true);
+  check_int "L0+R1" ((l0 + r1) land 15) (run false true)
+
+let test_partial_datapath_rejects_bad_sizes () =
+  Alcotest.check_raises "zero mux"
+    (Invalid_argument "Cell_library.partial_datapath: non-positive size")
+    (fun () ->
+      ignore
+        (Cl.partial_datapath ~fu:Cl.Adder ~width:4 ~left_inputs:0
+           ~right_inputs:1 ()))
+
+let test_rng_determinism () =
+  let a = Rng.create "seed" and b = Rng.create "seed" in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create "other" in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_adder_8bit; prop_mult_8bit ]
+
+let suite =
+  [
+    Alcotest.test_case "4-bit adder exhaustive" `Quick
+      test_adder_exhaustive_4bit;
+    Alcotest.test_case "4-bit subtractor exhaustive" `Quick
+      test_subtractor_exhaustive_4bit;
+    Alcotest.test_case "4-bit multiplier full exhaustive" `Quick
+      test_multiplier_exhaustive_4bit_full;
+    Alcotest.test_case "4-bit multiplier truncated exhaustive" `Quick
+      test_multiplier_exhaustive_4bit_truncated;
+    Alcotest.test_case "1-bit multiplier" `Quick test_multiplier_width1;
+    Alcotest.test_case "truncated multiplier is smaller" `Quick
+      test_truncated_smaller;
+    Alcotest.test_case "mux trees 1..9 inputs" `Quick test_mux_tree_sizes;
+    Alcotest.test_case "sel_bits" `Quick test_sel_bits;
+    Alcotest.test_case "partial datapath shapes" `Quick
+      test_partial_datapath_shapes;
+    Alcotest.test_case "partial datapath adder semantics" `Quick
+      test_partial_datapath_add_semantics;
+    Alcotest.test_case "partial datapath rejects bad sizes" `Quick
+      test_partial_datapath_rejects_bad_sizes;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+  ]
+  @ props

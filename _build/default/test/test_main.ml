@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "hlpower"
+    [
+      ("truth_table", Test_truth_table.suite);
+      ("netlist", Test_netlist.suite);
+      ("cell_library", Test_cell_library.suite);
+      ("blif", Test_blif.suite);
+      ("activity", Test_activity.suite);
+      ("mapper", Test_mapper.suite);
+      ("cdfg", Test_cdfg.suite);
+      ("bipartite", Test_bipartite.suite);
+      ("binding", Test_binding.suite);
+      ("rtl", Test_rtl.suite);
+      ("extra", Test_extra.suite);
+      ("port_assign", Test_port_assign.suite);
+      ("validation", Test_validation.suite);
+      ("module_select", Test_module_select.suite);
+      ("kernels", Test_kernels.suite);
+      ("explore", Test_explore.suite);
+    ]

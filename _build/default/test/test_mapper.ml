@@ -1,0 +1,226 @@
+module Nl = Hlp_netlist.Netlist
+module Tt = Hlp_netlist.Truth_table
+module Cl = Hlp_netlist.Cell_library
+module Cut = Hlp_mapper.Cut
+module Mapper = Hlp_mapper.Mapper
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* y = (a and b) xor (c or d): 4 inputs, 3 gates, depth 2. *)
+let small () =
+  let b = Nl.create_builder ~name:"small" in
+  let a = Nl.add_input b "a" in
+  let bb = Nl.add_input b "b" in
+  let c = Nl.add_input b "c" in
+  let d = Nl.add_input b "d" in
+  let g1 = Cl.and2 b a bb in
+  let g2 = Cl.or2 b c d in
+  let y = Cl.xor2 b g1 g2 in
+  Nl.mark_output b "y" y;
+  (Nl.freeze b, y)
+
+let test_cuts_of_inputs () =
+  let t, _ = small () in
+  let cuts = Cut.enumerate t ~k:4 ~max_cuts:8 in
+  let a = (Nl.inputs t).(0) in
+  (match cuts.(a) with
+  | [ c ] -> check_int "trivial cut" 1 (Array.length c.Cut.leaves)
+  | _ -> Alcotest.fail "input should have exactly its trivial cut")
+
+let test_cuts_cover_whole_cone () =
+  let t, y = small () in
+  let cuts = Cut.enumerate t ~k:4 ~max_cuts:8 in
+  (* With k=4, the root has a cut whose leaves are the 4 PIs. *)
+  let has_full =
+    List.exists (fun c -> Array.length c.Cut.leaves = 4) cuts.(y)
+  in
+  check_bool "4-input cut exists" true has_full;
+  (* All cuts are k-feasible. *)
+  List.iter
+    (fun c -> check_bool "k-feasible" true (Array.length c.Cut.leaves <= 4))
+    cuts.(y)
+
+let test_cuts_no_dominated () =
+  let t, y = small () in
+  let cuts = Cut.enumerate t ~k:4 ~max_cuts:16 in
+  let subset a b =
+    Array.for_all (fun x -> Array.exists (( = ) x) b.Cut.leaves) a.Cut.leaves
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j && subset a b then
+            Alcotest.failf "cut %a dominates %a" Cut.pp a Cut.pp b)
+        cuts.(y))
+    cuts.(y)
+
+let test_cone_function_matches () =
+  let t, y = small () in
+  let cuts = Cut.enumerate t ~k:4 ~max_cuts:8 in
+  let full =
+    List.find (fun c -> Array.length c.Cut.leaves = 4) cuts.(y)
+  in
+  let f = Cut.cone_function t y full in
+  (* Check against direct evaluation for all 16 assignments. *)
+  for m = 0 to 15 do
+    let assignment = Array.init 4 (fun i -> m land (1 lsl i) <> 0) in
+    let values = Nl.eval t assignment in
+    (* leaves are sorted by id = input creation order here *)
+    let mt = ref 0 in
+    Array.iteri
+      (fun i leaf -> if values.(leaf) then mt := !mt lor (1 lsl i))
+      full.Cut.leaves;
+    check_bool "cone function agrees" (values.(y)) (Tt.eval f !mt)
+  done
+
+let test_enumerate_rejects_bad_k () =
+  let t, _ = small () in
+  Alcotest.check_raises "k=1" (Invalid_argument "Cut.enumerate: bad k")
+    (fun () -> ignore (Cut.enumerate t ~k:1 ~max_cuts:4));
+  Alcotest.check_raises "k=9" (Invalid_argument "Cut.enumerate: bad k")
+    (fun () -> ignore (Cut.enumerate t ~k:9 ~max_cuts:4))
+
+let test_map_small_single_lut () =
+  (* 4 inputs, k=4: whole circuit fits in one LUT. *)
+  let t, _ = small () in
+  let m = Mapper.map t ~k:4 in
+  Mapper.check_cover m;
+  check_int "single LUT" 1 m.Mapper.lut_count;
+  check_int "depth 1" 1 m.Mapper.depth
+
+let test_map_small_k2 () =
+  let t, _ = small () in
+  let m = Mapper.map t ~k:2 in
+  Mapper.check_cover m;
+  check_bool "at least 3 LUTs" true (m.Mapper.lut_count >= 3)
+
+let test_map_adder () =
+  let b = Nl.create_builder ~name:"add8" in
+  let a = Cl.input_word b ~prefix:"a" ~width:8 in
+  let bw = Cl.input_word b ~prefix:"b" ~width:8 in
+  let cin = Nl.add_const b false in
+  let sum, cout = Cl.ripple_adder b ~a ~b_in:bw ~cin in
+  Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "s%d" i) id) sum;
+  Nl.mark_output b "cout" cout;
+  let t = Nl.freeze b in
+  let m = Mapper.map t ~k:4 in
+  Mapper.check_cover m;
+  check_bool "fewer LUTs than gates" true
+    (m.Mapper.lut_count < Nl.num_logic_nodes t);
+  check_bool "sa positive" true (m.Mapper.total_sa > 0.);
+  check_bool "adder chains glitch" true (m.Mapper.glitch_sa > 0.)
+
+let test_map_multiplier_cover () =
+  let b = Nl.create_builder ~name:"mult4" in
+  let a = Cl.input_word b ~prefix:"a" ~width:4 in
+  let bw = Cl.input_word b ~prefix:"b" ~width:4 in
+  let p = Cl.array_multiplier b ~a ~b_in:bw ~truncate:false in
+  Array.iteri (fun i id -> Nl.mark_output b (Printf.sprintf "p%d" i) id) p;
+  let t = Nl.freeze b in
+  let m = Mapper.map t ~k:4 in
+  Mapper.check_cover m
+
+let test_min_depth_objective () =
+  let b = Nl.create_builder ~name:"chain" in
+  let x0 = Nl.add_input b "x0" in
+  let prev = ref x0 in
+  for i = 1 to 8 do
+    let xi = Nl.add_input b (Printf.sprintf "x%d" i) in
+    prev := Cl.xor2 b !prev xi
+  done;
+  Nl.mark_output b "y" !prev;
+  let t = Nl.freeze b in
+  let sa = Mapper.map ~objective:Mapper.Min_sa t ~k:4 in
+  let depth = Mapper.map ~objective:Mapper.Min_depth t ~k:4 in
+  Mapper.check_cover sa;
+  Mapper.check_cover depth;
+  check_bool "depth objective at least as shallow" true
+    (depth.Mapper.depth <= sa.Mapper.depth)
+
+let test_map_with_const_outputs () =
+  let b = Nl.create_builder ~name:"constout" in
+  let a = Nl.add_input b "a" in
+  let k1 = Nl.add_const b true in
+  let g = Cl.and2 b a k1 in
+  Nl.mark_output b "y" g;
+  Nl.mark_output b "k" k1;
+  let t = Nl.freeze b in
+  let m = Mapper.map t ~k:4 in
+  Mapper.check_cover m
+
+let test_sa_decomposition () =
+  let t =
+    Cl.partial_datapath ~fu:Cl.Adder ~width:8 ~left_inputs:4 ~right_inputs:2 ()
+  in
+  let m = Mapper.map t ~k:4 in
+  Alcotest.(check (float 1e-6))
+    "total = functional + glitch" m.Mapper.total_sa
+    (m.Mapper.functional_sa +. m.Mapper.glitch_sa)
+
+let test_mapping_reduces_sa_vs_gates () =
+  (* Collapsing gates into LUTs hides internal transitions; the mapped
+     network should estimate fewer total transitions than the gate net. *)
+  let t =
+    Cl.partial_datapath ~fu:Cl.Adder ~width:8 ~left_inputs:3 ~right_inputs:3 ()
+  in
+  let gate_sa = (Hlp_activity.Timed.estimate t).Hlp_activity.Timed.total_sa in
+  let m = Mapper.map t ~k:4 in
+  check_bool "mapped SA < gate SA" true (m.Mapper.total_sa < gate_sa)
+
+(* Random netlists: cover always valid and equivalent. *)
+let prop_random_cover =
+  QCheck.Test.make ~name:"random netlists map to valid covers" ~count:60
+    QCheck.(pair (int_range 1 4) (int_range 1 100000))
+    (fun (k_choice, seed) ->
+      let k = 2 + (k_choice mod 3) in
+      let rng = Hlp_util.Rng.create (string_of_int seed) in
+      let b = Nl.create_builder ~name:"rand" in
+      let pool = ref [] in
+      let n_inputs = 2 + Hlp_util.Rng.int rng 5 in
+      for i = 0 to n_inputs - 1 do
+        pool := Nl.add_input b (Printf.sprintf "i%d" i) :: !pool
+      done;
+      let outs = ref [] in
+      for g = 1 to 5 + Hlp_util.Rng.int rng 25 do
+        let arr = Array.of_list !pool in
+        let x = Hlp_util.Rng.pick rng arr and y = Hlp_util.Rng.pick rng arr in
+        let f = Tt.create 2 (Int64.of_int (Hlp_util.Rng.int rng 16)) in
+        let id = Nl.add_node b ~name:"g" ~func:f ~fanins:[| x; y |] in
+        pool := id :: !pool;
+        if g mod 7 = 0 then outs := id :: !outs
+      done;
+      let last = List.hd !pool in
+      Nl.mark_output b "y" last;
+      List.iteri
+        (fun i id -> Nl.mark_output b (Printf.sprintf "o%d" i) id)
+        !outs;
+      let t = Nl.freeze b in
+      let m = Mapper.map t ~k in
+      Mapper.check_cover m;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "cuts of inputs" `Quick test_cuts_of_inputs;
+    Alcotest.test_case "full-cone cut exists" `Quick
+      test_cuts_cover_whole_cone;
+    Alcotest.test_case "no dominated cuts" `Quick test_cuts_no_dominated;
+    Alcotest.test_case "cone function matches evaluation" `Quick
+      test_cone_function_matches;
+    Alcotest.test_case "enumerate rejects bad k" `Quick
+      test_enumerate_rejects_bad_k;
+    Alcotest.test_case "small circuit -> one 4-LUT" `Quick
+      test_map_small_single_lut;
+    Alcotest.test_case "small circuit, k=2" `Quick test_map_small_k2;
+    Alcotest.test_case "8-bit adder mapping" `Quick test_map_adder;
+    Alcotest.test_case "4-bit multiplier mapping" `Quick
+      test_map_multiplier_cover;
+    Alcotest.test_case "min-depth objective" `Quick test_min_depth_objective;
+    Alcotest.test_case "constant outputs" `Quick test_map_with_const_outputs;
+    Alcotest.test_case "sa decomposition" `Quick test_sa_decomposition;
+    Alcotest.test_case "mapping reduces SA vs gate level" `Quick
+      test_mapping_reduces_sa_vs_gates;
+    QCheck_alcotest.to_alcotest prop_random_cover;
+  ]

@@ -1,0 +1,106 @@
+module Nl = Hlp_netlist.Netlist
+module Tt = Hlp_netlist.Truth_table
+module Cl = Hlp_netlist.Cell_library
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a tiny netlist: y = (a and b) xor c *)
+let tiny () =
+  let b = Nl.create_builder ~name:"tiny" in
+  let a = Nl.add_input b "a" in
+  let bb = Nl.add_input b "b" in
+  let c = Nl.add_input b "c" in
+  let ab = Cl.and2 b a bb in
+  let y = Cl.xor2 b ab c in
+  Nl.mark_output b "y" y;
+  (Nl.freeze b, y)
+
+let test_eval_tiny () =
+  let t, _ = tiny () in
+  for m = 0 to 7 do
+    let a = m land 1 <> 0 and b = m land 2 <> 0 and c = m land 4 <> 0 in
+    let expect = (a && b) <> c in
+    match Nl.output_values t [| a; b; c |] with
+    | [ ("y", v) ] -> check_bool "tiny eval" expect v
+    | _ -> Alcotest.fail "unexpected outputs"
+  done
+
+let test_structure () =
+  let t, y = tiny () in
+  check_int "num nodes" 5 (Nl.num_nodes t);
+  check_int "logic nodes" 2 (Nl.num_logic_nodes t);
+  check_int "inputs" 3 (Array.length (Nl.inputs t));
+  check_int "depth of y" 2 (Nl.depth t).(y);
+  check_int "max depth" 2 (Nl.max_depth t);
+  Nl.validate t
+
+let test_fanouts () =
+  let t, y = tiny () in
+  let fo = Nl.fanouts t in
+  let a = (Nl.inputs t).(0) in
+  check_int "fanout of a" 1 (Array.length fo.(a));
+  check_int "fanout of y" 0 (Array.length fo.(y))
+
+let test_builder_rejects_unknown_fanin () =
+  let b = Nl.create_builder ~name:"bad" in
+  let _ = Nl.add_input b "a" in
+  Alcotest.check_raises "unknown fanin"
+    (Invalid_argument "Netlist.add_node: unknown fanin id") (fun () ->
+      ignore
+        (Nl.add_node b ~name:"n" ~func:(Tt.var 0 1) ~fanins:[| 42 |]))
+
+let test_builder_rejects_arity_mismatch () =
+  let b = Nl.create_builder ~name:"bad" in
+  let a = Nl.add_input b "a" in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Netlist.add_node: arity / fanin count mismatch")
+    (fun () ->
+      ignore (Nl.add_node b ~name:"n" ~func:(Tt.const0 2) ~fanins:[| a |]))
+
+let test_freeze_requires_output () =
+  let b = Nl.create_builder ~name:"empty" in
+  let _ = Nl.add_input b "a" in
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Netlist.freeze: no outputs declared") (fun () ->
+      ignore (Nl.freeze b))
+
+let test_frozen_builder_rejected () =
+  let b = Nl.create_builder ~name:"once" in
+  let a = Nl.add_input b "a" in
+  Nl.mark_output b "y" a;
+  let _ = Nl.freeze b in
+  Alcotest.check_raises "reuse after freeze"
+    (Invalid_argument "Netlist: builder already frozen") (fun () ->
+      ignore (Nl.add_input b "b"))
+
+let test_const_nodes () =
+  let b = Nl.create_builder ~name:"consts" in
+  let _ = Nl.add_input b "a" in
+  let c0 = Nl.add_const b false in
+  let c1 = Nl.add_const b true in
+  Nl.mark_output b "z" c0;
+  Nl.mark_output b "o" c1;
+  let t = Nl.freeze b in
+  (match Nl.output_values t [| true |] with
+  | [ ("z", z); ("o", o) ] ->
+      check_bool "const0" false z;
+      check_bool "const1" true o
+  | _ -> Alcotest.fail "unexpected outputs");
+  check_int "consts have depth 0" 0 (Nl.max_depth t)
+
+let suite =
+  [
+    Alcotest.test_case "eval tiny" `Quick test_eval_tiny;
+    Alcotest.test_case "structure counts" `Quick test_structure;
+    Alcotest.test_case "fanouts" `Quick test_fanouts;
+    Alcotest.test_case "reject unknown fanin" `Quick
+      test_builder_rejects_unknown_fanin;
+    Alcotest.test_case "reject arity mismatch" `Quick
+      test_builder_rejects_arity_mismatch;
+    Alcotest.test_case "freeze requires output" `Quick
+      test_freeze_requires_output;
+    Alcotest.test_case "frozen builder rejected" `Quick
+      test_frozen_builder_rejected;
+    Alcotest.test_case "constant nodes" `Quick test_const_nodes;
+  ]

@@ -1,0 +1,161 @@
+(* Cross-validation tests: the probabilistic estimators against
+   Monte-Carlo measurement, and determinism guarantees across the stack. *)
+
+module Tt = Hlp_netlist.Truth_table
+module Nl = Hlp_netlist.Netlist
+module Cl = Hlp_netlist.Cell_library
+module Prob = Hlp_activity.Prob
+module Sw = Hlp_activity.Switching
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Cdfg = Hlp_cdfg.Cdfg
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Rng = Hlp_util.Rng
+
+let check_bool = Alcotest.(check bool)
+
+(* Empirical signal probability and zero-delay switching activity of a
+   single-output netlist under independent uniform inputs. *)
+let monte_carlo t samples seed =
+  let rng = Rng.create seed in
+  let n = Array.length (Nl.inputs t) in
+  let out_id = match Nl.outputs t with (_, id) :: _ -> id | [] -> assert false in
+  let draw () = Array.init n (fun _ -> Rng.bool rng) in
+  let ones = ref 0 and flips = ref 0 in
+  let prev = ref ((Nl.eval t (draw ())).(out_id)) in
+  for _ = 1 to samples do
+    let v = (Nl.eval t (draw ())).(out_id) in
+    if v then incr ones;
+    if v <> !prev then incr flips;
+    prev := v
+  done;
+  ( float_of_int !ones /. float_of_int samples,
+    float_of_int !flips /. float_of_int samples )
+
+let mc_tolerance = 0.05
+
+let test_eq2_vs_monte_carlo_gates () =
+  (* For each 2-input gate, the analytic probability and Eq. 2 activity
+     must match a 20k-sample Monte-Carlo run within sampling noise. *)
+  List.iter
+    (fun (name, build) ->
+      let b = Nl.create_builder ~name in
+      let x = Nl.add_input b "x" and y = Nl.add_input b "y" in
+      let g = build b x y in
+      Nl.mark_output b "z" g;
+      let t = Nl.freeze b in
+      let probs = Prob.node_probabilities t ~input_prob:Prob.uniform in
+      let signals =
+        Sw.propagate t ~input:(fun _ -> Sw.default_input)
+      in
+      (* Inputs redrawn uniformly each sample switch with probability 0.5,
+         matching the default input signal. *)
+      let mc_p, mc_s = monte_carlo t 20_000 ("mc-" ^ name) in
+      let est_p = probs.(g) and est_s = signals.(g).Sw.activity in
+      check_bool
+        (Printf.sprintf "%s prob: est %.3f vs mc %.3f" name est_p mc_p)
+        true
+        (abs_float (est_p -. mc_p) < mc_tolerance);
+      check_bool
+        (Printf.sprintf "%s activity: est %.3f vs mc %.3f" name est_s mc_s)
+        true
+        (abs_float (est_s -. mc_s) < mc_tolerance))
+    [
+      ("and", Cl.and2); ("or", Cl.or2); ("xor", Cl.xor2);
+      ("nand", fun b x y -> Cl.not_ b (Cl.and2 b x y));
+    ]
+
+let test_eq2_vs_monte_carlo_adder_bit () =
+  (* Middle sum bit of a 4-bit adder: reconvergent logic where the
+     independence assumption is stressed; stay within a loose bound. *)
+  let b = Nl.create_builder ~name:"addbit" in
+  let a = Cl.input_word b ~prefix:"a" ~width:4 in
+  let bw = Cl.input_word b ~prefix:"b" ~width:4 in
+  let cin = Nl.add_const b false in
+  let sum, _ = Cl.ripple_adder b ~a ~b_in:bw ~cin in
+  Nl.mark_output b "s2" sum.(2);
+  let t = Nl.freeze b in
+  let probs = Prob.node_probabilities t ~input_prob:Prob.uniform in
+  let signals = Sw.propagate t ~input:(fun _ -> Sw.default_input) in
+  let mc_p, mc_s = monte_carlo t 20_000 "mc-addbit" in
+  check_bool "adder bit prob" true
+    (abs_float (probs.(sum.(2)) -. mc_p) < 0.08);
+  check_bool "adder bit activity" true
+    (abs_float (signals.(sum.(2)).Sw.activity -. mc_s) < 0.12)
+
+(* --- determinism across the stack --- *)
+
+let full_bind name =
+  let p = Benchmarks.find name in
+  let g = Benchmarks.generate p in
+  let schedule = Schedule.list_schedule g ~resources:(Benchmarks.resources p) in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let sa_table = Sa_table.create ~width:4 ~k:4 () in
+  let r =
+    Hlpower.bind
+      ~params:(Hlpower.calibrate ~alpha:0.5 sa_table)
+      ~sa_table ~regs
+      ~resources:(fun cls -> max 1 (Schedule.max_density schedule cls))
+      schedule
+  in
+  List.map
+    (fun f -> (f.Binding.fu_class, f.Binding.fu_ops))
+    r.Hlpower.binding.Binding.fus
+
+let test_binding_deterministic () =
+  check_bool "same groups on rerun" true (full_bind "pr" = full_bind "pr")
+
+let test_sa_values_deterministic () =
+  let t1 = Sa_table.create ~width:6 ~k:4 () in
+  let t2 = Sa_table.create ~width:6 ~k:4 () in
+  let a = Sa_table.lookup t1 Cdfg.Add_sub ~left:3 ~right:2 in
+  let b = Sa_table.lookup t2 Cdfg.Add_sub ~left:3 ~right:2 in
+  Alcotest.(check (float 1e-12)) "identical SA" a b
+
+(* --- parser robustness --- *)
+
+let test_blif_bad_cube_width () =
+  let s = ".model b\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n" in
+  check_bool "bad cube rejected" true
+    (try ignore (Hlp_netlist.Blif.of_string s); false
+     with Failure _ -> true)
+
+let test_blif_mixed_polarity () =
+  let s = ".model b\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n" in
+  check_bool "mixed polarity rejected" true
+    (try ignore (Hlp_netlist.Blif.of_string s); false
+     with Failure _ -> true)
+
+(* --- truth table edge: 6-variable functions (the max) --- *)
+
+let test_six_variable_support () =
+  let f =
+    List.fold_left
+      (fun acc i -> Tt.xor acc (Tt.var i 6))
+      (Tt.var 0 6)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "full support" [ 0; 1; 2; 3; 4; 5 ]
+    (Tt.support f);
+  Alcotest.(check int) "balanced" 32 (Tt.count_ones f);
+  let p = Prob.of_table f (Array.make 6 0.5) in
+  Alcotest.(check (float 1e-9)) "parity prob" 0.5 p
+
+let suite =
+  [
+    Alcotest.test_case "eq2 vs monte carlo (gates)" `Slow
+      test_eq2_vs_monte_carlo_gates;
+    Alcotest.test_case "eq2 vs monte carlo (adder bit)" `Slow
+      test_eq2_vs_monte_carlo_adder_bit;
+    Alcotest.test_case "binding deterministic" `Quick
+      test_binding_deterministic;
+    Alcotest.test_case "sa values deterministic" `Quick
+      test_sa_values_deterministic;
+    Alcotest.test_case "blif bad cube width" `Quick test_blif_bad_cube_width;
+    Alcotest.test_case "blif mixed polarity" `Quick test_blif_mixed_polarity;
+    Alcotest.test_case "six-variable tables" `Quick test_six_variable_support;
+  ]
