@@ -6,7 +6,15 @@
                   the paper uses 1000 — set HLP_VECTORS=1000 to match)
      HLP_WIDTH    datapath word width in bits (default 16)
      HLP_FAST     if set, restrict the flow tables to the four smaller
-                  benchmarks (pr, wang, honda, mcm) *)
+                  benchmarks (pr, wang, honda, mcm)
+     HLP_JOBS     worker domains for the per-design loops (default:
+                  all cores; 1 = sequential).  Every metric printed is
+                  bit-identical whatever the value — only wall-clock
+                  columns vary.
+     HLP_STABLE   if set, suppress the non-deterministic output (wall
+                  clock columns, bechamel timings) so two runs can be
+                  diffed byte-for-byte
+     HLP_TELEMETRY=path.json  dump counters/timers/spans on exit *)
 
 module Cdfg = Hlp_cdfg.Cdfg
 module Schedule = Hlp_cdfg.Schedule
@@ -19,6 +27,8 @@ module L = Hlp_core.Lopass
 module ST = Hlp_core.Sa_table
 module Flow = Hlp_rtl.Flow
 module Stats = Hlp_util.Stats
+module Pool = Hlp_util.Pool
+module Telemetry = Hlp_util.Telemetry
 
 let vectors =
   match Sys.getenv_opt "HLP_VECTORS" with
@@ -31,6 +41,7 @@ let width =
   | None -> 16
 
 let fast = Sys.getenv_opt "HLP_FAST" <> None
+let stable = Sys.getenv_opt "HLP_STABLE" <> None
 
 let variants =
   match Sys.getenv_opt "HLP_VARIANTS" with
@@ -57,7 +68,11 @@ type prepared = {
 
 let sa_table = ST.create ~width ~k:4 ()
 
-let now () = Sys.time ()
+let now () = Unix.gettimeofday ()
+
+(* Wall-clock columns are real measurements unless HLP_STABLE asks for
+   byte-stable output (e.g. the CI determinism diff). *)
+let shown_seconds s = if stable then 0. else s
 
 let prepare ?(variant = 0) profile =
   let cdfg = B.generate ~variant profile in
@@ -85,7 +100,7 @@ let prepare ?(variant = 0) profile =
     iterations = r05.H.iterations;
   }
 
-let prepared = lazy (List.map prepare B.all)
+let prepared = lazy (Pool.parallel_map_list prepare B.all)
 
 let find_prepared name =
   List.find (fun p -> p.profile.B.bench_name = name) (Lazy.force prepared)
@@ -118,7 +133,9 @@ let table2 () =
       Printf.printf "%-8s %4d %5d | %11d %12d | %10d %11d | %12.3f %6d\n"
         p.B.bench_name p.B.add_units p.B.mult_units
         pr.schedule.Schedule.num_csteps p.B.paper_cycles
-        (RB.num_regs pr.regs) p.B.paper_regs pr.hlp_seconds pr.iterations)
+        (RB.num_regs pr.regs) p.B.paper_regs
+        (shown_seconds pr.hlp_seconds)
+        pr.iterations)
     (Lazy.force prepared)
 
 (* Full-flow reports, shared by Table 3 and Figure 3.  Each benchmark is
@@ -151,26 +168,43 @@ let average reports =
 
 let flow_rows =
   lazy
-    (List.map
+    (let config = { Flow.default_config with Flow.vectors; width } in
+     (* Flatten the (benchmark x variant) grid so the pool keeps every
+        worker busy even when benchmark sizes are uneven; regroup by
+        benchmark afterwards.  parallel_map returns results in task
+        order, so the averages see the variants in the same order as the
+        old sequential loop. *)
+     let tasks =
+       List.concat_map
+         (fun (p : B.profile) ->
+           List.init variants (fun variant -> (p, variant)))
+         flow_profiles
+     in
+     let runs =
+       Pool.parallel_map_list
+         (fun ((p : B.profile), variant) ->
+           Printf.eprintf "[flow] %s variant %d...\n%!" p.B.bench_name
+             variant;
+           let pr = prepare ~variant p in
+           let run tag b = Flow.run ~config ~design:(p.B.bench_name ^ tag) b in
+           ( p.B.bench_name,
+             ( run "-lopass" pr.lopass,
+               run "-hlp-a1" pr.hlp_a1,
+               run "-hlp-a05" pr.hlp_a05 ) ))
+         tasks
+     in
+     List.map
        (fun (p : B.profile) ->
-         let config = { Flow.default_config with Flow.vectors; width } in
-         let runs =
-           List.init variants (fun variant ->
-               Printf.eprintf "[flow] %s variant %d...\n%!" p.B.bench_name
-                 variant;
-               let pr = prepare ~variant p in
-               let run tag b =
-                 Flow.run ~config ~design:(p.B.bench_name ^ tag) b
-               in
-               ( run "-lopass" pr.lopass,
-                 run "-hlp-a1" pr.hlp_a1,
-                 run "-hlp-a05" pr.hlp_a05 ))
+         let mine =
+           List.filter_map
+             (fun (name, r) -> if name = p.B.bench_name then Some r else None)
+             runs
          in
          {
            bench = p.B.bench_name;
-           lop = average (List.map (fun (a, _, _) -> a) runs);
-           a1 = average (List.map (fun (_, b, _) -> b) runs);
-           a05 = average (List.map (fun (_, _, c) -> c) runs);
+           lop = average (List.map (fun (a, _, _) -> a) mine);
+           a1 = average (List.map (fun (_, b, _) -> b) mine);
+           a05 = average (List.map (fun (_, _, c) -> c) mine);
          })
        flow_profiles)
 
@@ -341,8 +375,8 @@ let ablation_table_vs_dynamic () =
   Printf.printf "identical bindings: %b\n"
     (List.sort compare (groups b_dynamic)
     = List.sort compare (groups b_cached));
-  Printf.printf "cold (dynamic) %.3f s vs warm (table) %.3f s\n" t_dynamic
-    t_cached
+  Printf.printf "cold (dynamic) %.3f s vs warm (table) %.3f s\n"
+    (shown_seconds t_dynamic) (shown_seconds t_cached)
 
 let ablation_objective () =
   section "Ablation: glitch-aware (Min_sa) vs conventional (Min_depth) \
@@ -532,6 +566,8 @@ let () =
   Printf.printf "HLPower evaluation harness (width=%d bits, vectors=%d%s)\n"
     width vectors
     (if fast then ", fast subset" else "");
+  Printf.eprintf "[pool] %d worker(s)\n%!" (Pool.jobs ());
+  let t0 = now () in
   table1 ();
   table2 ();
   table4 ();
@@ -544,5 +580,9 @@ let () =
   ablation_multicycle ();
   ablation_port_assign ();
   ablation_module_select ();
-  bechamel_section ();
+  (* Bechamel numbers are wall-clock by nature; skip them entirely in
+     byte-stable mode. *)
+  if not stable then bechamel_section ();
+  Printf.eprintf "[bench] total wall clock %.1f s\n%!" (now () -. t0);
+  Telemetry.write_if_requested ();
   Printf.printf "\ndone.\n"

@@ -266,4 +266,8 @@ let main_cmd =
     (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
     [ list_cmd; bind_cmd; compare_cmd; explore_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  let code = Cmd.eval' main_cmd in
+  (* Honour HLP_TELEMETRY=path.json for every subcommand. *)
+  Hlp_util.Telemetry.write_if_requested ();
+  exit code

@@ -1,1 +1,1 @@
-lib/core/hlpower.ml: Array Binding Bipartite Hlp_cdfg Int List Printf Reg_binding Sa_table Set
+lib/core/hlpower.ml: Array Binding Bipartite Hlp_cdfg Hlp_util Int List Printf Reg_binding Sa_table Set

@@ -1,1 +1,1 @@
-lib/core/sa_table.ml: Fun Hashtbl Hlp_cdfg Hlp_mapper Hlp_netlist List Printf Scanf String
+lib/core/sa_table.ml: Array Atomic Fun Hashtbl Hlp_cdfg Hlp_mapper Hlp_netlist Hlp_util List Mutex Printf Scanf String

@@ -1,6 +1,12 @@
 module Cdfg = Hlp_cdfg.Cdfg
 module Schedule = Hlp_cdfg.Schedule
+module Telemetry = Hlp_util.Telemetry
 module IS = Set.Make (Int)
+
+let c_iterations = Telemetry.counter "hlpower.iterations"
+let c_promotions = Telemetry.counter "hlpower.promotions"
+let c_binds = Telemetry.counter "hlpower.binds"
+let c_first_fit = Telemetry.counter "hlpower.first_fit_fallbacks"
 
 type params = {
   alpha : float;
@@ -86,6 +92,7 @@ let merged_weight ~params ~sa_table u v =
   edge_weight ~params ~sa_table ~cls:u.cls ~left ~right
 
 let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
+  Telemetry.time "hlpower.bind" @@ fun () ->
   let cdfg = schedule.Schedule.cdfg in
   List.iter
     (fun cls ->
@@ -140,12 +147,14 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
           | [] -> assert false
         end
         else begin
-          let matched_v = List.map snd pairs in
+          let matched_v =
+            List.fold_left (fun s (_, j) -> IS.add j s) IS.empty pairs
+          in
           List.iter
             (fun (i, j) -> !u.(i) <- merge !u.(i) v_arr.(j))
             pairs;
           v :=
-            List.filteri (fun j _ -> not (List.mem j matched_v))
+            List.filteri (fun j _ -> not (IS.mem j matched_v))
               (Array.to_list v_arr)
         end
       done;
@@ -185,6 +194,7 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
          constraint.  Eq. 4 quality is lost for this class, but binding
          never fails on a feasible schedule. *)
       if count () > resources cls then begin
+        Telemetry.incr c_first_fit;
         let sorted =
           List.sort
             (fun a b ->
@@ -219,4 +229,7 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
   in
   let groups = List.concat_map bind_class Cdfg.all_classes in
   let binding = Binding.make ~schedule ~regs ~groups in
+  Telemetry.incr c_binds;
+  Telemetry.add c_iterations !iterations;
+  Telemetry.add c_promotions !promoted;
   { binding; iterations = !iterations; promoted = !promoted }

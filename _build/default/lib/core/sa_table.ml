@@ -1,19 +1,36 @@
 module Cdfg = Hlp_cdfg.Cdfg
 module Cl = Hlp_netlist.Cell_library
 module Mapper = Hlp_mapper.Mapper
+module Pool = Hlp_util.Pool
+module Telemetry = Hlp_util.Telemetry
 
 type t = {
   width : int;
   k : int;
   cache : (Cdfg.fu_class * int * int, float) Hashtbl.t;
+  mu : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
+
+let c_hits = Telemetry.counter "sa_table.hits"
+let c_misses = Telemetry.counter "sa_table.misses"
 
 let create ?(width = 8) ?(k = 4) () =
   if width < 1 then invalid_arg "Sa_table.create: bad width";
-  { width; k; cache = Hashtbl.create 256 }
+  {
+    width;
+    k;
+    cache = Hashtbl.create 256;
+    mu = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
 
 let width t = t.width
 let k t = t.k
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
 
 let fu_of_class = function
   | Cdfg.Add_sub -> Cl.Adder
@@ -27,30 +44,57 @@ let compute t cls ~left ~right =
   let mapping = Mapper.map netlist ~k:t.k in
   mapping.Mapper.total_sa
 
+let find_cached t key =
+  Mutex.lock t.mu;
+  let r = Hashtbl.find_opt t.cache key in
+  Mutex.unlock t.mu;
+  r
+
 let lookup t cls ~left ~right =
   if left < 1 || right < 1 then invalid_arg "Sa_table.lookup: bad mux size";
   (* The cell is symmetric in its ports; cache under the sorted key. *)
   let lo = min left right and hi = max left right in
-  match Hashtbl.find_opt t.cache (cls, lo, hi) with
-  | Some sa -> sa
+  let key = (cls, lo, hi) in
+  match find_cached t key with
+  | Some sa ->
+      Atomic.incr t.hits;
+      Telemetry.incr c_hits;
+      sa
   | None ->
+      (* Compute outside the lock: entries are pure functions of the key,
+         so two domains racing on the same key waste one computation but
+         store the same value. *)
+      Atomic.incr t.misses;
+      Telemetry.incr c_misses;
       let sa = compute t cls ~left:lo ~right:hi in
-      Hashtbl.replace t.cache (cls, lo, hi) sa;
+      Mutex.lock t.mu;
+      Hashtbl.replace t.cache key sa;
+      Mutex.unlock t.mu;
       sa
 
 let precompute t ~max_inputs =
+  (* Enumerate the key set first, then fill in parallel: each entry is an
+     independent elaborate-and-map job. *)
+  let keys = ref [] in
   List.iter
     (fun cls ->
       for left = 1 to max_inputs do
         for right = left to max 1 (max_inputs + 2 - left) do
-          ignore (lookup t cls ~left ~right)
+          keys := (cls, left, right) :: !keys
         done
       done)
-    Cdfg.all_classes
+    Cdfg.all_classes;
+  Pool.parallel_iter
+    (fun (cls, left, right) -> ignore (lookup t cls ~left ~right))
+    (Array.of_list (List.rev !keys))
 
 let entries t =
-  Hashtbl.fold (fun (cls, l, r) sa acc -> (cls, l, r, sa) :: acc) t.cache []
-  |> List.sort compare
+  Mutex.lock t.mu;
+  let rows =
+    Hashtbl.fold (fun (cls, l, r) sa acc -> (cls, l, r, sa) :: acc) t.cache []
+  in
+  Mutex.unlock t.mu;
+  List.sort compare rows
 
 let class_name = Cdfg.class_to_string
 

@@ -12,7 +12,14 @@
     — elaborating the partial datapath with {!Hlp_netlist.Cell_library},
     mapping it onto K-LUTs with {!Hlp_mapper.Mapper} and summing the
     glitch-aware effective SA (Eq. 3) — memoizes, and can round-trip the
-    table through the paper's text-file representation. *)
+    table through the paper's text-file representation.
+
+    The cache is safe to share between domains: lookups take a mutex only
+    around the hash-table access, and the (expensive) partial-datapath
+    mapping runs outside it.  Two domains racing on the same cold key may
+    both compute it, but entries are pure functions of the key so they
+    store identical values — results never depend on the interleaving.
+    {!precompute} fills the table with {!Hlp_util.Pool.parallel_iter}. *)
 
 type t
 
@@ -23,6 +30,14 @@ val create : ?width:int -> ?k:int -> unit -> t
 
 val width : t -> int
 val k : t -> int
+
+(** [hits t] / [misses t] count cache hits and misses over the table's
+    lifetime (a miss is counted even when a racing domain fills the entry
+    first).  Also mirrored into the process-wide telemetry counters
+    [sa_table.hits] / [sa_table.misses]. *)
+val hits : t -> int
+
+val misses : t -> int
 
 (** [lookup t cls ~left ~right] is the estimated effective SA of the
     partial datapath for FU class [cls] with mux sizes [left] and [right]
@@ -35,7 +50,8 @@ val lookup : t -> Hlp_cdfg.Cdfg.fu_class -> left:int -> right:int -> float
 (** [precompute t ~max_inputs] fills the table for every combination with
     [left + right <= max_inputs + 2] (both at least 1) — "all FU & MUX
     combinations" of Algorithm 1 line 3, bounded by the largest mux any
-    binding could create. *)
+    binding could create.  Entries are computed in parallel across the
+    {!Hlp_util.Pool} worker count. *)
 val precompute : t -> max_inputs:int -> unit
 
 (** [entries t] lists the memoized [(class, left, right, sa)] rows. *)

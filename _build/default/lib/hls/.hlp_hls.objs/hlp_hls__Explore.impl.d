@@ -1,1 +1,1 @@
-lib/hls/explore.ml: Format Hlp_cdfg Hlp_core Hlp_rtl List Printf
+lib/hls/explore.ml: Format Hlp_cdfg Hlp_core Hlp_rtl Hlp_util List Printf

@@ -5,6 +5,8 @@ module Reg_binding = Hlp_core.Reg_binding
 module Sa_table = Hlp_core.Sa_table
 module Hlpower = Hlp_core.Hlpower
 module Flow = Hlp_rtl.Flow
+module Pool = Hlp_util.Pool
+module Telemetry = Hlp_util.Telemetry
 
 type point = {
   add_units : int;
@@ -45,62 +47,68 @@ let default_config =
 
 let sweep ?(config = default_config) cdfg =
   let sa_table = Sa_table.create ~width:config.width ~k:4 () in
-  let points = ref [] in
-  List.iter
-    (fun add_units ->
-      List.iter
-        (fun mult_units ->
-          let resources = function
-            | Cdfg.Add_sub -> add_units
-            | Cdfg.Multiplier -> mult_units
-          in
-          match Schedule.list_schedule cdfg ~resources with
-          | exception Invalid_argument _ -> ()
-          | schedule ->
-              let regs = Reg_binding.bind (Lifetime.analyze schedule) in
-              List.iter
-                (fun alpha ->
-                  match
-                    Hlpower.bind
-                      ~params:(Hlpower.calibrate ~alpha sa_table)
-                      ~sa_table ~regs ~resources schedule
-                  with
-                  | exception Failure _ -> ()
-                  | result ->
-                      let flow_config =
-                        {
-                          Flow.default_config with
-                          Flow.width = config.width;
-                          vectors = config.vectors;
-                        }
-                      in
-                      let report =
-                        Flow.run ~config:flow_config
-                          ~design:
-                            (Printf.sprintf "%s-%da%dm-a%.2f"
-                               (Cdfg.name cdfg) add_units mult_units alpha)
-                          result.Hlpower.binding
-                      in
-                      points :=
-                        {
-                          add_units;
-                          mult_units;
-                          alpha;
-                          csteps = schedule.Schedule.num_csteps;
-                          latency_ns =
-                            float_of_int schedule.Schedule.num_csteps
-                            *. report.Flow.clock_period_ns;
-                          clock_ns = report.Flow.clock_period_ns;
-                          regs = Reg_binding.num_regs regs;
-                          luts = report.Flow.luts;
-                          power_mw = report.Flow.dynamic_power_mw;
-                          toggle_mhz = report.Flow.toggle_rate_mhz;
-                        }
-                        :: !points)
-                config.alphas)
-        config.mult_range)
-    config.add_range;
-  List.rev !points
+  (* One task per (add, mult) allocation: each schedules once and walks the
+     alpha list, so the grid parallelizes across Pool workers while every
+     point is still produced from its own deterministic seed.  The result
+     order (add, then mult, then alpha) is that of the sequential loops
+     regardless of worker interleaving. *)
+  let grid =
+    List.concat_map
+      (fun add_units ->
+        List.map (fun mult_units -> (add_units, mult_units)) config.mult_range)
+      config.add_range
+  in
+  let eval_cell (add_units, mult_units) =
+    let resources = function
+      | Cdfg.Add_sub -> add_units
+      | Cdfg.Multiplier -> mult_units
+    in
+    match Schedule.list_schedule cdfg ~resources with
+    | exception Invalid_argument _ -> []
+    | schedule ->
+        let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+        List.filter_map
+          (fun alpha ->
+            match
+              Hlpower.bind
+                ~params:(Hlpower.calibrate ~alpha sa_table)
+                ~sa_table ~regs ~resources schedule
+            with
+            | exception Failure _ -> None
+            | result ->
+                let flow_config =
+                  {
+                    Flow.default_config with
+                    Flow.width = config.width;
+                    vectors = config.vectors;
+                  }
+                in
+                let report =
+                  Flow.run ~config:flow_config
+                    ~design:
+                      (Printf.sprintf "%s-%da%dm-a%.2f" (Cdfg.name cdfg)
+                         add_units mult_units alpha)
+                    result.Hlpower.binding
+                in
+                Some
+                  {
+                    add_units;
+                    mult_units;
+                    alpha;
+                    csteps = schedule.Schedule.num_csteps;
+                    latency_ns =
+                      float_of_int schedule.Schedule.num_csteps
+                      *. report.Flow.clock_period_ns;
+                    clock_ns = report.Flow.clock_period_ns;
+                    regs = Reg_binding.num_regs regs;
+                    luts = report.Flow.luts;
+                    power_mw = report.Flow.dynamic_power_mw;
+                    toggle_mhz = report.Flow.toggle_rate_mhz;
+                  })
+          config.alphas
+  in
+  Telemetry.time "explore.sweep" (fun () ->
+      List.concat (Pool.parallel_map_list eval_cell grid))
 
 let dominates a b =
   a.latency_ns <= b.latency_ns

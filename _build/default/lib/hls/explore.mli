@@ -39,7 +39,11 @@ type config = {
 val default_config : config
 
 (** [sweep ?config cdfg] evaluates every combination (infeasible points —
-    e.g. an allocation below a forced density — are skipped). *)
+    e.g. an allocation below a forced density — are skipped).  Grid cells
+    are evaluated in parallel across the {!Hlp_util.Pool} worker count
+    ([HLP_JOBS]); every point derives from its own per-design RNG seed,
+    so the returned list is bit-identical whatever the worker count, in
+    the (add, mult, alpha) order of the sequential loops. *)
 val sweep : ?config:config -> Cdfg.t -> point list
 
 (** [pareto points] keeps the points not dominated on

@@ -2,6 +2,10 @@ module Nl = Hlp_netlist.Netlist
 module Tt = Hlp_netlist.Truth_table
 module Sw = Hlp_activity.Switching
 module Timed = Hlp_activity.Timed
+module Telemetry = Hlp_util.Telemetry
+
+let c_maps = Telemetry.counter "mapper.maps"
+let c_luts = Telemetry.counter "mapper.luts"
 
 type objective = Min_sa | Min_depth
 
@@ -37,6 +41,7 @@ let is_terminal t id =
 
 let map ?(objective = Min_sa) ?(max_cuts = default_max_cuts)
     ?(input = fun _ -> Sw.default_input) t ~k =
+  Telemetry.time "mapper.map" @@ fun () ->
   let cuts = Cut.enumerate t ~k ~max_cuts in
   let n = Nl.num_nodes t in
   let best = Array.make n None in
@@ -151,6 +156,8 @@ let map ?(objective = Min_sa) ?(max_cuts = default_max_cuts)
     Timed.summarize lut_network
       (Timed.propagate lut_network ~delay:(fun _ -> 1) ~input)
   in
+  Telemetry.incr c_maps;
+  Telemetry.add c_luts (List.length luts);
   {
     source = t;
     luts;

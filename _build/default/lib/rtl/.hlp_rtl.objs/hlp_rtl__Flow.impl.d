@@ -1,1 +1,1 @@
-lib/rtl/flow.ml: Datapath Elaborate Format Hlp_core Hlp_mapper Power Sim
+lib/rtl/flow.ml: Datapath Elaborate Format Hlp_core Hlp_mapper Hlp_util Power Sim

@@ -1,5 +1,6 @@
 module Binding = Hlp_core.Binding
 module Mapper = Hlp_mapper.Mapper
+module Telemetry = Hlp_util.Telemetry
 
 type config = {
   width : int;
@@ -39,9 +40,15 @@ type report = {
 }
 
 let run ?(config = default_config) ~design binding =
-  let dp = Datapath.build ~width:config.width binding in
-  Datapath.validate dp;
-  let elab = Elaborate.elaborate dp in
+  (* One span per design gives the per-design flow-timing breakdown in the
+     telemetry dump; the mapper and simulator record their own timers. *)
+  Telemetry.span ("flow:" ^ design) @@ fun () ->
+  let elab =
+    Telemetry.time "flow.elaborate" (fun () ->
+        let dp = Datapath.build ~width:config.width binding in
+        Datapath.validate dp;
+        Elaborate.elaborate dp)
+  in
   let mapping =
     Mapper.map ~objective:config.objective elab.Elaborate.netlist ~k:config.k
   in
@@ -50,7 +57,10 @@ let run ?(config = default_config) ~design binding =
     { Sim.vectors = config.vectors; seed = config.seed; check = config.check }
   in
   let sim = Sim.run ~config:sim_config elab ~network in
-  let power = Power.analyze config.model ~network ~sim in
+  let power =
+    Telemetry.time "flow.power" (fun () ->
+        Power.analyze config.model ~network ~sim)
+  in
   let mux = Binding.mux_stats binding in
   {
     design;

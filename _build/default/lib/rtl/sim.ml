@@ -2,6 +2,12 @@ module Nl = Hlp_netlist.Netlist
 module Tt = Hlp_netlist.Truth_table
 module Cdfg = Hlp_cdfg.Cdfg
 module Rng = Hlp_util.Rng
+module Telemetry = Hlp_util.Telemetry
+
+let c_runs = Telemetry.counter "sim.runs"
+let c_cycles = Telemetry.counter "sim.cycles"
+let c_toggles = Telemetry.counter "sim.toggles"
+let c_glitches = Telemetry.counter "sim.glitch_toggles"
 
 type config = {
   vectors : int;
@@ -156,6 +162,7 @@ let settle e ~epoch (assignment : bool array) =
   glitches
 
 let run ?(config = default_config) (elab : Elaborate.t) ~network =
+  Telemetry.time "sim.run" @@ fun () ->
   let dp = elab.Elaborate.datapath in
   let binding = dp.Datapath.binding in
   let schedule = binding.Hlp_core.Binding.schedule in
@@ -223,9 +230,14 @@ let run ?(config = default_config) (elab : Elaborate.t) ~network =
         expect dp.Datapath.output_regs
     end
   done;
+  let total_toggles = Array.fold_left ( + ) 0 e.toggles in
+  Telemetry.incr c_runs;
+  Telemetry.add c_cycles !cycles;
+  Telemetry.add c_toggles total_toggles;
+  Telemetry.add c_glitches !glitches;
   {
     node_toggles = e.toggles;
-    total_toggles = Array.fold_left ( + ) 0 e.toggles;
+    total_toggles;
     glitch_toggles = !glitches;
     cycles = !cycles;
     num_signals = Nl.num_nodes network;

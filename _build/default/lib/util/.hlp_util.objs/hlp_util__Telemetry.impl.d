@@ -1,0 +1,1 @@
+lib/util/telemetry.ml: Atomic Buffer Char Float Fun Hashtbl List Mutex Printf String Sys Unix

@@ -1,0 +1,56 @@
+let override : int option Atomic.t = Atomic.make None
+
+let env_jobs () =
+  match Sys.getenv_opt "HLP_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_jobs n = Atomic.set override (Option.map (max 1) n)
+
+let parallel_map ?jobs:j f arr =
+  let n = Array.length arr in
+  let workers =
+    min n (match j with Some j -> max 1 j | None -> jobs ())
+  in
+  if workers <= 1 || n <= 1 then Array.map f arr
+  else begin
+    (* Dynamic scheduling over an atomic cursor: cheap, and result order
+       is fixed by the slot each item writes to, not by who ran it. *)
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue := false
+        else
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+      done
+    in
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* all slots written *))
+      results
+  end
+
+let parallel_map_list ?jobs f xs =
+  Array.to_list (parallel_map ?jobs f (Array.of_list xs))
+
+let parallel_iter ?jobs f arr = ignore (parallel_map ?jobs f arr)

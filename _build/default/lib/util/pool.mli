@@ -1,0 +1,40 @@
+(** Fixed-size domain pool for data-parallel loops.
+
+    OCaml 5 domains are expensive to create and the runtime degrades past
+    one domain per core, so parallel sections share a bounded worker
+    count.  The resolution order for that count is: an explicit [?jobs]
+    argument, then {!set_jobs}, then the [HLP_JOBS] environment variable,
+    then [Domain.recommended_domain_count ()].  [HLP_JOBS=1] (or any
+    resolution to 1) forces the plain sequential path — no domain is ever
+    spawned — which is the reference behaviour every parallel caller must
+    reproduce bit-for-bit.
+
+    Work items are distributed dynamically (an atomic cursor over the
+    input array), but results are always delivered in input order and an
+    exception raised by a worker is re-raised for the {e smallest} failing
+    index, so callers observe a deterministic interface regardless of the
+    worker count or interleaving. *)
+
+(** [jobs ()] is the worker count a parallel section started now would
+    use ([>= 1]). *)
+val jobs : unit -> int
+
+(** [set_jobs (Some n)] overrides [HLP_JOBS] for the current process
+    (clamped to [>= 1]); [set_jobs None] restores environment resolution.
+    Intended for tests that compare sequential and parallel runs. *)
+val set_jobs : int option -> unit
+
+(** [parallel_map ?jobs f arr] is [Array.map f arr] computed by up to
+    [jobs] domains.  Result order matches input order; if any [f]
+    raises, the exception of the smallest failing index is re-raised
+    after all workers have drained. *)
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_map_list ?jobs f xs] is [List.map f xs] via
+    {!parallel_map}. *)
+val parallel_map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_iter ?jobs f arr] applies [f] to every element for its
+    side effects; completion of the call means every element was
+    processed.  Same exception discipline as {!parallel_map}. *)
+val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a array -> unit

@@ -1,0 +1,70 @@
+(** Process-wide observability: named counters, accumulated wall-clock
+    timers, and individual span records, dumped as JSON.
+
+    Every primitive is safe to call from any domain, so instrumented code
+    (the mapper, the simulator, the SA-table cache, the binder) needs no
+    coordination of its own.  Counters are lock-free atomics; timers and
+    spans share one mutex, taken only on the (cold) record path.
+
+    Collection is always on — the cost is a few atomic adds per
+    instrumented call — but nothing is written unless the program asks:
+    {!write} dumps to an explicit path, and {!write_if_requested} honours
+    the [HLP_TELEMETRY=path.json] environment knob (no-op when unset).
+
+    Telemetry never feeds back into any algorithm, so instrumented flows
+    stay deterministic; note however that under [HLP_JOBS > 1] the
+    {e diagnostic} numbers themselves may legitimately differ from a
+    sequential run (e.g. two domains racing to fill the same SA-table
+    entry record two misses where a sequential run records one). *)
+
+(** Handle to a named counter; cheap to bump from hot loops. *)
+type counter
+
+(** [counter name] returns the (unique, process-wide) counter for [name],
+    creating it at zero on first use. *)
+val counter : string -> counter
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+(** [count name n] is [add (counter name) n] — for cold call sites. *)
+val count : string -> int -> unit
+
+(** [value (counter name)] reads the current total. *)
+val value : counter -> int
+
+(** [time name f] runs [f ()], adding its wall-clock duration (and one
+    call) to the accumulated timer [name].  Exceptions propagate; the
+    partial duration is still recorded. *)
+val time : string -> (unit -> 'a) -> 'a
+
+(** [span name f] is {!time} plus an individual record of this call's
+    start time and duration, for per-design / per-phase breakdowns. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** Snapshots, sorted by name ([spans] in record order). *)
+val counters : unit -> (string * int) list
+
+(** [(name, calls, total_seconds)] per accumulated timer. *)
+val timers : unit -> (string * int * float) list
+
+(** [(name, start_unix_seconds, duration_seconds)] per recorded span. *)
+val spans : unit -> (string * float * float) list
+
+(** [reset ()] clears all counters, timers and spans (tests). *)
+val reset : unit -> unit
+
+(** [to_json ()] renders the snapshot as a JSON object with fields
+    ["counters"] (object of integers), ["timers"] (array of
+    [{name, calls, seconds}]) and ["spans"] (array of
+    [{name, start, seconds}]). *)
+val to_json : unit -> string
+
+(** [write path] writes [to_json ()] to [path]. *)
+val write : string -> unit
+
+(** [write_if_requested ()] writes to [$HLP_TELEMETRY] when that variable
+    is set and non-empty; otherwise does nothing.  An unwritable path is
+    reported on stderr rather than raised — telemetry is diagnostics, and
+    must never fail the run. *)
+val write_if_requested : unit -> unit

@@ -1,1 +1,1 @@
-test/test_bipartite.ml: Alcotest Array Hlp_core Hlp_util List QCheck QCheck_alcotest
+test/test_bipartite.ml: Alcotest Array Gen Hlp_core Hlp_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hlpower_stress.ml: Alcotest Hlp_cdfg Hlp_core Hlp_util List Printf Unix

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Fun Hlp_cdfg Hlp_core Hlp_hls Hlp_rtl Hlp_util List

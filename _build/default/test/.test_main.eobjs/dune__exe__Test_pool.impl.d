@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Atomic Fun Hlp_util List Option Printf String Sys Unix

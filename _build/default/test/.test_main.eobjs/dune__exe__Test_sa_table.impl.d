@@ -1,0 +1,1 @@
+test/test_sa_table.ml: Alcotest Hlp_cdfg Hlp_core List Printf

@@ -1,0 +1,1 @@
+test/test_telemetry.ml: Alcotest Array Filename Hlp_util List String Sys Unix

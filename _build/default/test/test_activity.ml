@@ -260,10 +260,70 @@ let prop_timed_total_at_least_zero_delay_functional =
       s.Timed.glitch_sa >= -1e-9
       && s.Timed.total_sa >= s.Timed.functional_sa -. 1e-9)
 
+(* --- waveform-level properties of the Timed model --- *)
+
+(* Random waveform: a handful of (time, activity) steps plus a prob;
+   Timed.make normalizes (sorts, drops zero-activity steps). *)
+let random_waveform rng =
+  let n_steps = Hlp_util.Rng.int rng 4 in
+  let steps =
+    List.init n_steps (fun _ ->
+        (Hlp_util.Rng.int rng 5, Hlp_util.Rng.float rng 0.4))
+  in
+  let prob = Hlp_util.Rng.float rng 1. in
+  Timed.make ~prob ~steps
+
+let random_composition seed =
+  let rng = Hlp_util.Rng.create (Printf.sprintf "timed-%d" seed) in
+  let arity = 1 + Hlp_util.Rng.int rng 3 in
+  let f = Tt.create arity (Hlp_util.Rng.bits64 rng) in
+  let fanins = Array.init arity (fun _ -> random_waveform rng) in
+  let delay = 1 + Hlp_util.Rng.int rng 3 in
+  (f, fanins, delay)
+
+let arb_seed = QCheck.(int_range 0 1_000_000)
+
+let prop_waveform_glitch_nonnegative =
+  QCheck.Test.make ~name:"waveform glitch_activity >= 0" ~count:300 arb_seed
+    (fun seed ->
+      let f, fanins, delay = random_composition seed in
+      let w = Timed.node_waveform f ~fanins ~delay in
+      Timed.glitch_activity w >= 0.
+      && Array.for_all (fun fw -> Timed.glitch_activity fw >= 0.) fanins)
+
+let prop_waveform_decomposition =
+  QCheck.Test.make
+    ~name:"total_activity = functional + glitch (waveform level)" ~count:300
+    arb_seed (fun seed ->
+      let f, fanins, delay = random_composition seed in
+      let w = Timed.node_waveform f ~fanins ~delay in
+      abs_float
+        (Timed.total_activity w
+        -. (Timed.functional_activity w +. Timed.glitch_activity w))
+      < 1e-9)
+
+let prop_arrival_monotone_in_composition =
+  (* Composition never invents transitions later than its inputs allow
+     (arrival <= max fanin arrival + delay), and a slower node can only
+     move the arrival later, never earlier. *)
+  QCheck.Test.make ~name:"arrival monotone under node_waveform" ~count:300
+    arb_seed (fun seed ->
+      let f, fanins, delay = random_composition seed in
+      let w = Timed.node_waveform f ~fanins ~delay in
+      let max_in =
+        Array.fold_left (fun acc fw -> max acc (Timed.arrival fw)) 0 fanins
+      in
+      let slower = Timed.node_waveform f ~fanins ~delay:(delay + 1) in
+      Timed.arrival w >= 0
+      && Timed.arrival w <= max_in + delay
+      && Timed.arrival slower >= Timed.arrival w)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_eq2_bounds; prop_eq1_dominates_eq2;
-      prop_timed_total_at_least_zero_delay_functional ]
+      prop_timed_total_at_least_zero_delay_functional;
+      prop_waveform_glitch_nonnegative; prop_waveform_decomposition;
+      prop_arrival_monotone_in_composition ]
 
 let suite =
   [

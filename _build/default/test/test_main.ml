@@ -17,4 +17,9 @@ let () =
       ("module_select", Test_module_select.suite);
       ("kernels", Test_kernels.suite);
       ("explore", Test_explore.suite);
+      ("pool", Test_pool.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("parallel", Test_parallel.suite);
+      ("sa_table", Test_sa_table.suite);
+      ("hlpower_stress", Test_hlpower_stress.suite);
     ]

@@ -1,0 +1,65 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module ST = Hlp_core.Sa_table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_sa = Alcotest.(check (float 0.))
+
+let test_symmetry_is_a_cache_hit () =
+  let t = ST.create ~width:3 ~k:4 () in
+  check_int "fresh table, no traffic" 0 (ST.hits t + ST.misses t);
+  let a = ST.lookup t Cdfg.Add_sub ~left:2 ~right:4 in
+  check_int "first lookup misses" 1 (ST.misses t);
+  check_int "first lookup does not hit" 0 (ST.hits t);
+  (* The mirrored key must be served from the cache: same value, hit
+     counted, nothing recomputed. *)
+  let b = ST.lookup t Cdfg.Add_sub ~left:4 ~right:2 in
+  check_sa "lookup (l,r) = lookup (r,l)" a b;
+  check_int "mirrored lookup hits" 1 (ST.hits t);
+  check_int "no second miss" 1 (ST.misses t);
+  check_int "one cached entry, not two" 1 (List.length (ST.entries t))
+
+let test_symmetry_both_classes () =
+  let t = ST.create ~width:2 ~k:4 () in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun (l, r) ->
+          check_sa
+            (Printf.sprintf "%s (%d,%d)" (Cdfg.class_to_string cls) l r)
+            (ST.lookup t cls ~left:l ~right:r)
+            (ST.lookup t cls ~left:r ~right:l))
+        [ (1, 3); (2, 5); (3, 4) ])
+    Cdfg.all_classes
+
+let test_repeated_lookup_counts_hits () =
+  let t = ST.create ~width:2 ~k:4 () in
+  ignore (ST.lookup t Cdfg.Multiplier ~left:2 ~right:2);
+  for _ = 1 to 9 do
+    ignore (ST.lookup t Cdfg.Multiplier ~left:2 ~right:2)
+  done;
+  check_int "1 miss" 1 (ST.misses t);
+  check_int "9 hits" 9 (ST.hits t)
+
+let test_precompute_then_all_hits () =
+  let t = ST.create ~width:2 ~k:4 () in
+  ST.precompute t ~max_inputs:3;
+  let filled = List.length (ST.entries t) in
+  check_bool "table filled" true (filled > 0);
+  let misses_before = ST.misses t in
+  ignore (ST.lookup t Cdfg.Add_sub ~left:1 ~right:2);
+  ignore (ST.lookup t Cdfg.Add_sub ~left:2 ~right:1);
+  ignore (ST.lookup t Cdfg.Multiplier ~left:3 ~right:1);
+  check_int "no further misses after precompute" misses_before (ST.misses t)
+
+let suite =
+  [
+    Alcotest.test_case "mirrored lookup is a hit, not a recompute" `Quick
+      test_symmetry_is_a_cache_hit;
+    Alcotest.test_case "symmetry across classes and sizes" `Quick
+      test_symmetry_both_classes;
+    Alcotest.test_case "repeated lookups count hits" `Quick
+      test_repeated_lookup_counts_hits;
+    Alcotest.test_case "precompute leaves only hits" `Quick
+      test_precompute_then_all_hits;
+  ]

@@ -106,6 +106,54 @@ let prop_matches_brute_force =
            -. brute_force ~n_left:nl ~n_right:nr ~weight)
          < 1e-6)
 
+(* Larger random graphs, up to 7x7 — the brute force stays cheap because
+   the used-column pruning bounds it by the number of injective partial
+   maps (~131k at 7x7).  Checks optimality and validity separately so a
+   failure names the broken property. *)
+let gen_graph =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple (int_range 1 7) (int_range 1 7) (int_range 0 1_000_000)
+      >>= fun (nl, nr, seed) ->
+      map (fun density -> (nl, nr, seed, density)) (float_range 0.2 1.0))
+  in
+  make
+    ~print:(fun (nl, nr, seed, d) ->
+      Printf.sprintf "%dx%d seed=%d density=%.2f" nl nr seed d)
+    gen
+
+let random_matrix (nl, nr, seed, density) =
+  let rng = Hlp_util.Rng.create (Printf.sprintf "bp7-%d" seed) in
+  Array.init nl (fun _ ->
+      Array.init nr (fun _ ->
+          if Hlp_util.Rng.float rng 1. > density then None
+          else Some (0.5 +. Hlp_util.Rng.float rng 100.)))
+
+let prop_optimal_up_to_7x7 =
+  QCheck.Test.make ~name:"weight equals brute-force optimum (<= 7x7)"
+    ~count:150 gen_graph (fun inst ->
+      let nl, nr, _, _ = inst in
+      let weight = weight_of_matrix (random_matrix inst) in
+      let pairs = Bp.max_weight_matching ~n_left:nl ~n_right:nr ~weight in
+      abs_float
+        (Bp.total_weight ~weight pairs -. brute_force ~n_left:nl ~n_right:nr ~weight)
+      < 1e-6)
+
+let prop_valid_matching_up_to_7x7 =
+  QCheck.Test.make ~name:"pairs are a valid matching on real edges (<= 7x7)"
+    ~count:150 gen_graph (fun inst ->
+      let nl, nr, _, _ = inst in
+      let weight = weight_of_matrix (random_matrix inst) in
+      let pairs = Bp.max_weight_matching ~n_left:nl ~n_right:nr ~weight in
+      let ls = List.map fst pairs and rs = List.map snd pairs in
+      let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+      distinct ls && distinct rs
+      && List.for_all
+           (fun (i, j) ->
+             i >= 0 && i < nl && j >= 0 && j < nr && weight i j <> None)
+           pairs)
+
 let suite =
   [
     Alcotest.test_case "simple 2x2" `Quick test_simple_2x2;
@@ -119,4 +167,6 @@ let suite =
     Alcotest.test_case "complete graph gives perfect matching" `Quick
       test_maximal_when_positive;
     QCheck_alcotest.to_alcotest prop_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_optimal_up_to_7x7;
+    QCheck_alcotest.to_alcotest prop_valid_matching_up_to_7x7;
   ]

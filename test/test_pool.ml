@@ -1,0 +1,95 @@
+module Pool = Hlp_util.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_jobs n f =
+  Pool.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Pool.set_jobs None) f
+
+let test_map_preserves_order () =
+  let input = Array.init 100 (fun i -> i) in
+  let seq = Array.map (fun i -> i * i) input in
+  List.iter
+    (fun jobs ->
+      let par = Pool.parallel_map ~jobs (fun i -> i * i) input in
+      check_bool (Printf.sprintf "jobs=%d" jobs) true (par = seq))
+    [ 1; 2; 4; 8 ]
+
+let test_map_list () =
+  check_bool "list roundtrip" true
+    (Pool.parallel_map_list ~jobs:4 String.uppercase_ascii
+       [ "a"; "b"; "c"; "d"; "e" ]
+    = [ "A"; "B"; "C"; "D"; "E" ])
+
+let test_empty_and_singleton () =
+  check_int "empty" 0 (Array.length (Pool.parallel_map ~jobs:4 succ [||]));
+  check_bool "singleton" true
+    (Pool.parallel_map ~jobs:4 succ [| 41 |] = [| 42 |])
+
+let test_iter_covers_everything () =
+  (* Atomic accumulator: parallel_iter must process each element once. *)
+  let sum = Atomic.make 0 in
+  let input = Array.init 1000 (fun i -> i + 1) in
+  Pool.parallel_iter ~jobs:4 (fun x -> ignore (Atomic.fetch_and_add sum x)) input;
+  check_int "sum 1..1000" 500500 (Atomic.get sum)
+
+let test_exception_of_smallest_index () =
+  let attempt jobs =
+    match
+      Pool.parallel_map ~jobs
+        (fun i -> if i mod 3 = 0 then failwith (string_of_int i) else i)
+        (Array.init 50 (fun i -> i + 1))
+    with
+    | _ -> Alcotest.fail "expected failure"
+    | exception Failure msg -> msg
+  in
+  (* Failing inputs are 3, 6, 9, ...; whatever the interleaving, the
+     reported failure must be the smallest failing index. *)
+  check_bool "sequential" true (attempt 1 = "3");
+  List.iter (fun j -> check_bool "parallel" true (attempt j = "3")) [ 2; 4 ]
+
+let test_set_jobs_override () =
+  with_jobs 3 (fun () -> check_int "override" 3 (Pool.jobs ()));
+  check_bool "restored" true (Pool.jobs () >= 1)
+
+let test_env_knob () =
+  let prev = Sys.getenv_opt "HLP_JOBS" in
+  Unix.putenv "HLP_JOBS" "7";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "HLP_JOBS" (Option.value prev ~default:""))
+    (fun () ->
+      check_int "HLP_JOBS read" 7 (Pool.jobs ());
+      Unix.putenv "HLP_JOBS" "not-a-number";
+      check_bool "garbage ignored" true (Pool.jobs () >= 1);
+      Unix.putenv "HLP_JOBS" "0";
+      check_bool "zero ignored" true (Pool.jobs () >= 1))
+
+let test_nontrivial_work_matches_sequential () =
+  (* Same float results bit-for-bit, parallel or not. *)
+  let f x =
+    let acc = ref (float_of_int x) in
+    for i = 1 to 100 do
+      acc := !acc +. sin (float_of_int i *. !acc)
+    done;
+    !acc
+  in
+  let input = Array.init 64 (fun i -> i) in
+  check_bool "bit-identical floats" true
+    (Pool.parallel_map ~jobs:4 f input = Array.map f input)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map over lists" `Quick test_map_list;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "iter covers everything" `Quick
+      test_iter_covers_everything;
+    Alcotest.test_case "exception of smallest index" `Quick
+      test_exception_of_smallest_index;
+    Alcotest.test_case "set_jobs override" `Quick test_set_jobs_override;
+    Alcotest.test_case "HLP_JOBS env knob" `Quick test_env_knob;
+    Alcotest.test_case "floats bit-identical vs sequential" `Quick
+      test_nontrivial_work_matches_sequential;
+  ]
