@@ -175,6 +175,119 @@ let bind_cmd =
       $ vectors_arg $ vhdl_arg $ blif_arg $ sa_table_arg $ port_assign_arg
       $ testbench_arg $ verbose_arg)
 
+(* --- lint command --- *)
+
+let lint_bench_arg =
+  let doc = "Lint a single design: a benchmark (chem, dir, honda, mcm, pr, \
+             steam, wang) or a kernel (fir8, dct4, biquad, fig1).  Default: \
+             all of them." in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~doc)
+
+let lint_binder_arg =
+  let doc = "Binding algorithm to lint: hlpower, lopass, or both." in
+  Arg.(value & opt string "both" & info [ "binder" ] ~doc)
+
+let json_arg =
+  let doc = "Also write the diagnostics as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let run_lint bench binder width json_out verbose =
+  setup_logs verbose;
+  try
+    let binders =
+      match binder with
+      | "both" -> [ "hlpower"; "lopass" ]
+      | ("hlpower" | "lopass") as b -> [ b ]
+      | other -> failwith ("unknown binder: " ^ other)
+    in
+    let min_res schedule cls = max 1 (Schedule.max_density schedule cls) in
+    let kernel name cdfg =
+      let schedule =
+        Schedule.list_schedule cdfg ~resources:(fun _ -> 2)
+      in
+      let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+      (name, schedule, regs, min_res schedule)
+    in
+    let targets =
+      List.map
+        (fun p ->
+          let name = p.Benchmarks.bench_name in
+          let _, schedule, regs = prepare name in
+          (name, schedule, regs, Benchmarks.resources p))
+        Benchmarks.all
+      @ [
+          kernel "fir8" (Benchmarks.fir ~taps:8);
+          kernel "dct4" (Benchmarks.dct4 ());
+          kernel "biquad" (Benchmarks.biquad ());
+          (let schedule = Benchmarks.fig1 () in
+           let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+           ("fig1", schedule, regs, min_res schedule));
+        ]
+    in
+    let targets =
+      match bench with
+      | None -> targets
+      | Some b -> (
+          match List.filter (fun (n, _, _, _) -> n = b) targets with
+          | [] -> raise Not_found
+          | l -> l)
+    in
+    let sa_table = lazy (Sa_table.create ~width ~k:4 ()) in
+    let config = { Flow.default_config with Flow.width } in
+    let results =
+      List.concat_map
+        (fun (name, schedule, regs, resources) ->
+          List.map
+            (fun binder ->
+              let design = name ^ "-" ^ binder in
+              let binding =
+                match binder with
+                | "lopass" -> Lopass.bind ~regs ~resources schedule
+                | _ ->
+                    let sa_table = Lazy.force sa_table in
+                    let params = Hlpower.calibrate ~alpha:0.5 sa_table in
+                    (Hlpower.bind ~params ~sa_table ~regs
+                       ~resources:(min_res schedule) schedule)
+                      .Hlpower.binding
+              in
+              (design, Hlp_lint.Lint.run_all ~config ~design binding))
+            binders)
+        targets
+    in
+    List.iter (fun r -> Format.printf "%a" Hlp_lint.Lint.pp_report r) results;
+    (match json_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hlp_lint.Lint.json_report results);
+        close_out oc;
+        Format.printf "wrote JSON to %s@." path
+    | None -> ());
+    let count sel =
+      List.fold_left (fun n (_, ds) -> n + List.length (sel ds)) 0 results
+    in
+    let errors = count Hlp_lint.Diagnostic.errors in
+    let warnings = count (fun ds -> ds) - errors in
+    Format.printf "lint: %d designs checked, %d errors, %d warnings@."
+      (List.length results) errors warnings;
+    if errors > 0 then 1 else 0
+  with
+  | (Failure msg | Invalid_argument msg) ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Not_found ->
+      Format.eprintf "error: unknown design %s@."
+        (Option.value ~default:"?" bench);
+      1
+
+let lint_cmd =
+  let doc = "Statically check the binding, datapath, netlist and LUT cover \
+             of every design; report all violations" in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ lint_bench_arg $ lint_binder_arg $ width_arg
+      $ json_arg $ verbose_arg)
+
 (* --- compare command --- *)
 
 let run_compare bench width vectors verbose =
@@ -264,7 +377,7 @@ let main_cmd =
   let doc = "FPGA-targeted glitch-aware high-level binding (HLPower)" in
   Cmd.group
     (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-    [ list_cmd; bind_cmd; compare_cmd; explore_cmd ]
+    [ list_cmd; bind_cmd; lint_cmd; compare_cmd; explore_cmd ]
 
 let () =
   let code = Cmd.eval' main_cmd in

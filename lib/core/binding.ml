@@ -44,7 +44,14 @@ let make ~schedule ~regs ~groups =
   { schedule; regs; fus; fu_of_op;
     swapped = Array.make (Cdfg.num_ops cdfg) false }
 
-let validate t =
+(* The comprehensive rule family lives in Hlp_lint.Rules_binding (one
+   source of truth); linking hlp_lint installs it here, upgrading
+   [validate] to report every violation at once.  Without hlp_lint the
+   legacy fail-fast checks below still guard the core invariants. *)
+let lint_hook : (t -> string list) option ref = ref None
+let set_lint_hook f = lint_hook := Some f
+
+let basic_validate t =
   Reg_binding.validate t.regs;
   List.iter
     (fun fu ->
@@ -62,6 +69,14 @@ let validate t =
             spans)
         spans)
     t.fus
+
+let validate t =
+  match !lint_hook with
+  | Some rules -> (
+      match rules t with
+      | [] -> ()
+      | msgs -> failwith ("Binding: " ^ String.concat "\n" msgs))
+  | None -> basic_validate t
 
 let num_fus t cls =
   List.length (List.filter (fun f -> f.fu_class = cls) t.fus)

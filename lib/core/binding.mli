@@ -39,8 +39,17 @@ val make :
 
 (** [validate t] checks: every op bound exactly once, class agreement, and
     no two ops on one FU active in the same control step; plus register
-    binding validity.  @raise Failure on violation. *)
+    binding validity.  When the [Hlp_lint] library is linked, this
+    delegates to its binding rule family ([B001]-[B009]) and the raised
+    message lists {e every} violation; otherwise a minimal fail-fast
+    fallback runs.  @raise Failure on violation. *)
 val validate : t -> unit
+
+(** [set_lint_hook rules] installs the comprehensive validator behind
+    {!validate}: [rules t] must return one human-readable message per
+    violation (empty = valid).  Called by [Hlp_lint] at link time; not
+    intended for end users. *)
+val set_lint_hook : (t -> string list) -> unit
 
 (** [num_fus t cls] counts allocated FUs of class [cls]. *)
 val num_fus : t -> Cdfg.fu_class -> int

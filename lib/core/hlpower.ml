@@ -229,6 +229,7 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
   in
   let groups = List.concat_map bind_class Cdfg.all_classes in
   let binding = Binding.make ~schedule ~regs ~groups in
+  Binding.validate binding;
   Telemetry.incr c_binds;
   Telemetry.add c_iterations !iterations;
   Telemetry.add c_promotions !promoted;

@@ -105,4 +105,6 @@ let bind ~regs ~resources schedule =
     end
   in
   let groups = List.concat_map bind_class Cdfg.all_classes in
-  Binding.make ~schedule ~regs ~groups
+  let binding = Binding.make ~schedule ~regs ~groups in
+  Binding.validate binding;
+  binding

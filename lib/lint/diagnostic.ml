@@ -1,0 +1,84 @@
+type severity = Error | Warning
+
+type loc =
+  | Op of int
+  | Fu of int
+  | Reg of int
+  | Step of int
+  | Node of int
+  | Net of string
+  | Line of int
+  | Design
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : loc;
+  message : string;
+}
+
+let make severity code loc fmt =
+  Printf.ksprintf (fun message -> { code; severity; loc; message }) fmt
+
+let error code loc fmt = make Error code loc fmt
+let warning code loc fmt = make Warning code loc fmt
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let codes ds = List.sort_uniq Stdlib.compare (List.map (fun d -> d.code) ds)
+let has_code code ds = List.exists (fun d -> d.code = code) ds
+
+let loc_rank = function
+  | Design -> (0, 0, "")
+  | Op i -> (1, i, "")
+  | Fu i -> (2, i, "")
+  | Reg i -> (3, i, "")
+  | Step i -> (4, i, "")
+  | Node i -> (5, i, "")
+  | Net s -> (6, 0, s)
+  | Line i -> (7, i, "")
+
+let compare a b =
+  let sev = function Error -> 0 | Warning -> 1 in
+  let c = Stdlib.compare (sev a.severity) (sev b.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.code b.code in
+    if c <> 0 then c else Stdlib.compare (loc_rank a.loc) (loc_rank b.loc)
+
+let pp_loc fmt = function
+  | Op i -> Format.fprintf fmt "op %d" i
+  | Fu i -> Format.fprintf fmt "fu %d" i
+  | Reg i -> Format.fprintf fmt "reg %d" i
+  | Step i -> Format.fprintf fmt "step %d" i
+  | Node i -> Format.fprintf fmt "node %d" i
+  | Net s -> Format.fprintf fmt "net %s" s
+  | Line i -> Format.fprintf fmt "line %d" i
+  | Design -> Format.fprintf fmt "design"
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %a: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.code pp_loc d.loc d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* Hand-rolled JSON, matching Telemetry's no-yojson policy. *)
+let json_loc = function
+  | Op i -> Printf.sprintf {|{"kind": "op", "index": %d}|} i
+  | Fu i -> Printf.sprintf {|{"kind": "fu", "index": %d}|} i
+  | Reg i -> Printf.sprintf {|{"kind": "reg", "index": %d}|} i
+  | Step i -> Printf.sprintf {|{"kind": "step", "index": %d}|} i
+  | Node i -> Printf.sprintf {|{"kind": "node", "index": %d}|} i
+  | Net s ->
+      Printf.sprintf {|{"kind": "net", "name": "%s"}|}
+        (Hlp_util.Telemetry.json_escape s)
+  | Line i -> Printf.sprintf {|{"kind": "line", "index": %d}|} i
+  | Design -> {|{"kind": "design"}|}
+
+let json_of d =
+  Printf.sprintf
+    {|{"code": "%s", "severity": "%s", "loc": %s, "message": "%s"}|}
+    (Hlp_util.Telemetry.json_escape d.code)
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (json_loc d.loc)
+    (Hlp_util.Telemetry.json_escape d.message)

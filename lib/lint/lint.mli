@@ -1,0 +1,62 @@
+(** Static-analysis driver over the binding -> datapath -> netlist ->
+    LUT chain.
+
+    [Hlp_lint] checks every intermediate artifact the flow produces and
+    reports {e all} violations as structured {!Diagnostic.t} values
+    rather than dying on the first.  Four rule families cover the four
+    artifact kinds:
+
+    - {!Rules_binding} ([B001]-[B009]) — the binding solution
+    - {!Rules_datapath} ([D001]-[D008]) — the FSM/datapath control tables
+    - {!Rules_netlist} ([N001]-[N010]) — the gate netlist and its BLIF
+      round trip
+    - {!Rules_mapped} ([M001]-[M005]) — the k-LUT cover
+
+    Linking this library (all executables in this tree do) also arms the
+    legacy validators: {!Hlp_core.Binding.validate} and
+    {!Hlp_rtl.Datapath.validate} delegate to the rule families via the
+    hook installed by this module's initializer, and {!Hlp_rtl.Flow.run}
+    lints the netlist and the LUT cover behind [config.check].  The
+    library is built with [-linkall] so merely listing it as a
+    dependency is enough. *)
+
+(** {1 Rule catalog} *)
+
+type rule = {
+  r_code : string;  (** stable identifier, e.g. ["B002"] *)
+  r_severity : Diagnostic.severity;
+  r_family : string;  (** ["binding"], ["datapath"], ["netlist"], ["mapped"] or ["driver"] *)
+  r_synopsis : string;
+}
+
+(** Every rule the subsystem can emit, sorted by code.  [L001] is the
+    driver's own code for a pipeline stage that raised instead of
+    producing an artifact to lint. *)
+val catalog : rule list
+
+(** {1 Running the analysis} *)
+
+(** [run_all ?config ~design binding] drives the whole pipeline —
+    binding rules, then {!Hlp_rtl.Datapath.build}, datapath rules,
+    elaboration, netlist rules and the BLIF round trip, technology
+    mapping at [config.k], mapped rules — and returns every diagnostic
+    found, sorted errors-first.  Construction of a downstream artifact
+    is skipped once an upstream family reports errors (its input cannot
+    be trusted); a stage that raises anyway is reported as an [L001]
+    diagnostic carrying the exception text.  Never raises. *)
+val run_all :
+  ?config:Hlp_rtl.Flow.config -> design:string -> Hlp_core.Binding.t ->
+  Diagnostic.t list
+
+(** {1 Reporting} *)
+
+(** [summary ds] is e.g. ["2 errors, 1 warning"] (or ["clean"]). *)
+val summary : Diagnostic.t list -> string
+
+(** [pp_report ppf (design, ds)] prints one line per diagnostic followed
+    by a summary line. *)
+val pp_report : Format.formatter -> string * Diagnostic.t list -> unit
+
+(** [json_report results] renders [(design, diagnostics)] pairs as one
+    JSON document (hand-rolled, same style as [Hlp_util.Telemetry]). *)
+val json_report : (string * Diagnostic.t list) list -> string

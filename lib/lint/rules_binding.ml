@@ -1,0 +1,135 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Binding = Hlp_core.Binding
+module Reg_binding = Hlp_core.Reg_binding
+module D = Diagnostic
+
+let check (b : Binding.t) =
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let schedule = b.Binding.schedule in
+  let cdfg = schedule.Schedule.cdfg in
+  let n_ops = Cdfg.num_ops cdfg in
+  (* --- unit structure: B003/B004/B009 + per-op bind counts --- *)
+  let bound_count = Array.make n_ops 0 in
+  List.iteri
+    (fun pos fu ->
+      if fu.Binding.fu_id <> pos then
+        report
+          (D.error "B009" (D.Fu fu.Binding.fu_id)
+             "unit id %d does not match its position %d" fu.Binding.fu_id pos);
+      if fu.Binding.fu_ops = [] then
+        report (D.error "B004" (D.Fu fu.Binding.fu_id) "unit has no ops");
+      List.iter
+        (fun id ->
+          if id < 0 || id >= n_ops then
+            report
+              (D.error "B009" (D.Fu fu.Binding.fu_id) "unknown op id %d" id)
+          else begin
+            bound_count.(id) <- bound_count.(id) + 1;
+            if Cdfg.class_of (Cdfg.op cdfg id).Cdfg.kind <> fu.Binding.fu_class
+            then
+              report
+                (D.error "B003" (D.Op id)
+                   "op of class %s bound to a %s unit (fu %d)"
+                   (Cdfg.class_to_string
+                      (Cdfg.class_of (Cdfg.op cdfg id).Cdfg.kind))
+                   (Cdfg.class_to_string fu.Binding.fu_class)
+                   fu.Binding.fu_id);
+            if
+              Array.length b.Binding.fu_of_op = n_ops
+              && b.Binding.fu_of_op.(id) <> fu.Binding.fu_id
+            then
+              report
+                (D.error "B009" (D.Op id)
+                   "fu_of_op says fu %d but the op is listed on fu %d"
+                   b.Binding.fu_of_op.(id) fu.Binding.fu_id)
+          end)
+        fu.Binding.fu_ops)
+    b.Binding.fus;
+  if Array.length b.Binding.fu_of_op <> n_ops then
+    report
+      (D.error "B009" D.Design "fu_of_op has length %d, expected %d"
+         (Array.length b.Binding.fu_of_op) n_ops);
+  (* --- every op bound exactly once: B001/B002 --- *)
+  Array.iteri
+    (fun id c ->
+      if c = 0 then report (D.error "B001" (D.Op id) "op is not bound")
+      else if c > 1 then
+        report (D.error "B002" (D.Op id) "op is bound %d times" c))
+    bound_count;
+  (* --- temporal conflicts inside a unit: B005 --- *)
+  List.iter
+    (fun fu ->
+      let ops =
+        List.filter (fun id -> id >= 0 && id < n_ops) fu.Binding.fu_ops
+      in
+      let spans =
+        List.map (fun id -> (id, Schedule.active_steps schedule id)) ops
+      in
+      List.iteri
+        (fun i (id1, (s1, f1)) ->
+          List.iteri
+            (fun j (id2, (s2, f2)) ->
+              if i < j && s1 <= f2 && s2 <= f1 then
+                report
+                  (D.error "B005" (D.Fu fu.Binding.fu_id)
+                     "ops %d and %d overlap in steps [%d,%d] and [%d,%d]" id1
+                     id2 s1 f1 s2 f2))
+            spans)
+        spans)
+    b.Binding.fus;
+  (* --- swap legality: B006 --- *)
+  if Array.length b.Binding.swapped <> n_ops then
+    report
+      (D.error "B009" D.Design "swapped has length %d, expected %d"
+         (Array.length b.Binding.swapped) n_ops)
+  else
+    Array.iteri
+      (fun id sw ->
+        if sw && (Cdfg.op cdfg id).Cdfg.kind = Cdfg.Sub then
+          report
+            (D.error "B006" (D.Op id)
+               "swap flag set on a non-commutative subtraction"))
+      b.Binding.swapped;
+  (* --- register binding: B007/B008.  Lifetimes are recomputed from the
+     binding's own schedule, so a register binding made for a different
+     schedule is caught too. --- *)
+  let regs = b.Binding.regs in
+  let lt = Lifetime.analyze schedule in
+  let n_regs = Reg_binding.num_regs regs in
+  let by_reg = Array.make (max n_regs 1) [] in
+  List.iter
+    (fun (iv : Lifetime.interval) ->
+      match Reg_binding.reg_of_var regs iv.Lifetime.var with
+      | r when r < 0 || r >= n_regs ->
+          report
+            (D.error "B008" D.Design
+               "variable %s assigned to register %d, out of range (%d \
+                allocated)"
+               (Lifetime.var_to_string iv.Lifetime.var)
+               r n_regs)
+      | r -> by_reg.(r) <- iv :: by_reg.(r)
+      | exception Not_found ->
+          report
+            (D.error "B008" D.Design "variable %s has no register"
+               (Lifetime.var_to_string iv.Lifetime.var)))
+    (Lifetime.intervals lt);
+  Array.iteri
+    (fun r ivs ->
+      let ivs = List.rev ivs in
+      List.iteri
+        (fun i (a : Lifetime.interval) ->
+          List.iteri
+            (fun j (bv : Lifetime.interval) ->
+              if i < j && Lifetime.overlap a bv then
+                report
+                  (D.error "B007" (D.Reg r)
+                     "variables %s and %s overlap in the same register"
+                     (Lifetime.var_to_string a.Lifetime.var)
+                     (Lifetime.var_to_string bv.Lifetime.var)))
+            ivs)
+        ivs)
+    by_reg;
+  List.sort D.compare !diags

@@ -1,0 +1,18 @@
+(** Binding rule family (codes [B001]-[B009]).
+
+    Structural invariants of a complete {!Hlp_core.Binding.t}: every op
+    bound exactly once to a unit of its own class, units non-empty and
+    internally conflict-free under the schedule, swap flags legal, and
+    the underlying register binding complete and conflict-free.
+
+    - [B001] op not bound to any functional unit
+    - [B002] op bound to more than one functional unit
+    - [B003] op class differs from its unit's class
+    - [B004] functional unit with no ops
+    - [B005] two ops on one unit with overlapping active steps
+    - [B006] swap flag set on a non-commutative (subtract) op
+    - [B007] overlapping variable lifetimes sharing a register
+    - [B008] live variable with no register assigned
+    - [B009] [fu_of_op] disagrees with the unit op lists *)
+
+val check : Hlp_core.Binding.t -> Diagnostic.t list

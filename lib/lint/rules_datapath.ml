@@ -1,0 +1,180 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Binding = Hlp_core.Binding
+module Reg_binding = Hlp_core.Reg_binding
+module Datapath = Hlp_rtl.Datapath
+module D = Diagnostic
+
+let check (t : Datapath.t) =
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let binding = t.Datapath.binding in
+  let schedule = binding.Binding.schedule in
+  let cdfg = schedule.Schedule.cdfg in
+  let n_ops = Cdfg.num_ops cdfg in
+  let n_fus = Array.length t.Datapath.fus in
+  let n_regs = Datapath.num_regs t in
+  (* --- D008: the control tables must be shaped by the binding before
+     any per-entry rule makes sense. --- *)
+  let shape_ok = ref true in
+  let shape_error loc fmt =
+    Printf.ksprintf
+      (fun message ->
+        shape_ok := false;
+        report { D.code = "D008"; severity = D.Error; loc; message })
+      fmt
+  in
+  if n_fus <> List.length binding.Binding.fus then
+    shape_error D.Design "%d unit instances for %d bound units" n_fus
+      (List.length binding.Binding.fus);
+  if Array.length t.Datapath.reg_writers <> max n_regs 1 then
+    shape_error D.Design "reg_writers covers %d registers, expected %d"
+      (Array.length t.Datapath.reg_writers)
+      (max n_regs 1);
+  if Array.length t.Datapath.ctrl <> max schedule.Schedule.num_csteps 1 then
+    shape_error D.Design "control table has %d steps, schedule has %d"
+      (Array.length t.Datapath.ctrl)
+      (max schedule.Schedule.num_csteps 1);
+  Array.iteri
+    (fun s (step : Datapath.step_ctrl) ->
+      if Array.length step.Datapath.fu_ctrl <> n_fus then
+        shape_error (D.Step s) "fu_ctrl covers %d units, expected %d"
+          (Array.length step.Datapath.fu_ctrl)
+          n_fus;
+      if Array.length step.Datapath.reg_load <> max n_regs 1 then
+        shape_error (D.Step s) "reg_load covers %d registers, expected %d"
+          (Array.length step.Datapath.reg_load)
+          (max n_regs 1))
+    t.Datapath.ctrl;
+  if not !shape_ok then List.sort D.compare !diags
+  else begin
+    let issued = Array.make n_ops 0 in
+    (* Registers holding a defined value: primary inputs are loaded by the
+       environment before step 0; op results become defined after the load
+       at the end of their finish step. *)
+    let defined = Array.make (max n_regs 1) false in
+    List.iter
+      (fun (_, r) -> if r >= 0 && r < max n_regs 1 then defined.(r) <- true)
+      t.Datapath.input_regs;
+    Array.iteri
+      (fun s (step : Datapath.step_ctrl) ->
+        Array.iteri
+          (fun f fc ->
+            match fc with
+            | None -> ()
+            | Some (fc : Datapath.fu_ctrl) ->
+                let inst = t.Datapath.fus.(f) in
+                if fc.Datapath.op_id < 0 || fc.Datapath.op_id >= n_ops then
+                  shape_error (D.Step s) "unit %d drives unknown op %d" f
+                    fc.Datapath.op_id
+                else begin
+                  let id = fc.Datapath.op_id in
+                  let op = Cdfg.op cdfg id in
+                  let start, finish = Schedule.active_steps schedule id in
+                  if s < start || s > finish then
+                    report
+                      (D.error "D002" (D.Step s)
+                         "unit %d drives op %d outside its slot [%d,%d]" f id
+                         start finish);
+                  if
+                    Array.length binding.Binding.fu_of_op = n_ops
+                    && binding.Binding.fu_of_op.(id) <> f
+                  then
+                    report
+                      (D.error "D008" (D.Step s)
+                         "op %d issued on unit %d but bound to unit %d" id f
+                         binding.Binding.fu_of_op.(id));
+                  let sub_expected = op.Cdfg.kind = Cdfg.Sub in
+                  if fc.Datapath.subtract <> sub_expected then
+                    report
+                      (D.error "D006" (D.Op id)
+                         "subtract flag is %b for a %s op"
+                         fc.Datapath.subtract
+                         (Cdfg.kind_to_string op.Cdfg.kind));
+                  let check_sel port sel sources =
+                    if sel < 0 || sel >= Array.length sources then
+                      report
+                        (D.error "D001" (D.Fu f)
+                           "%s select %d out of range [0,%d) in step %d" port
+                           sel (Array.length sources) s)
+                    else if s = start && not defined.(sources.(sel)) then
+                      report
+                        (D.error "D007" (D.Step s)
+                           "op %d reads register %d (%s port) before any \
+                            value was loaded"
+                           id sources.(sel) port)
+                  in
+                  check_sel "left" fc.Datapath.left_sel
+                    inst.Datapath.left_sources;
+                  check_sel "right" fc.Datapath.right_sel
+                    inst.Datapath.right_sources;
+                  if s = start then issued.(id) <- issued.(id) + 1
+                end)
+          step.Datapath.fu_ctrl;
+        (* Loads commit at the end of the step. *)
+        Array.iteri
+          (fun r load ->
+            match load with
+            | None -> ()
+            | Some w ->
+                let writers = t.Datapath.reg_writers.(r) in
+                if w < 0 || w >= Array.length writers then
+                  report
+                    (D.error "D005" (D.Reg r)
+                       "load selects writer %d out of range [0,%d) in step \
+                        %d"
+                       w (Array.length writers) s)
+                else defined.(r) <- true)
+          step.Datapath.reg_load)
+      t.Datapath.ctrl;
+    (* --- per-op rules: D002 (idle inside slot), D003, D004, D005 --- *)
+    Array.iter
+      (fun (o : Cdfg.op) ->
+        let id = o.Cdfg.id in
+        if issued.(id) <> 1 then
+          report (D.error "D003" (D.Op id) "issued %d times" issued.(id));
+        let f =
+          if Array.length binding.Binding.fu_of_op = n_ops then
+            binding.Binding.fu_of_op.(id)
+          else -1
+        in
+        let start, finish = Schedule.active_steps schedule id in
+        if f >= 0 && f < n_fus then
+          for s = start to min finish (Array.length t.Datapath.ctrl - 1) do
+            match t.Datapath.ctrl.(s).Datapath.fu_ctrl.(f) with
+            | Some fc when fc.Datapath.op_id = id -> ()
+            | _ ->
+                report
+                  (D.error "D002" (D.Step s)
+                     "unit %d idle (or driving another op) inside op %d's \
+                      slot [%d,%d]"
+                     f id start finish)
+          done;
+        match Reg_binding.reg_of_var binding.Binding.regs (Lifetime.V_op id)
+        with
+        | exception Not_found -> () (* reported as B008 by the binding rules *)
+        | r when r < 0 || r >= max n_regs 1 -> ()
+        | r ->
+            if finish >= 0 && finish < Array.length t.Datapath.ctrl then (
+              match t.Datapath.ctrl.(finish).Datapath.reg_load.(r) with
+              | None ->
+                  report
+                    (D.error "D004" (D.Reg r)
+                       "result of op %d never loaded at its finish step %d"
+                       id finish)
+              | Some w ->
+                  let writers = t.Datapath.reg_writers.(r) in
+                  if
+                    f >= 0 && w >= 0
+                    && w < Array.length writers
+                    && writers.(w) <> f
+                  then
+                    report
+                      (D.error "D005" (D.Reg r)
+                         "load at step %d selects unit %d, but op %d runs \
+                          on unit %d"
+                         finish writers.(w) id f)))
+      (Cdfg.ops cdfg);
+    List.sort D.compare !diags
+  end

@@ -1,0 +1,23 @@
+(** Datapath rule family (codes [D001]-[D008]).
+
+    Consistency of the FSM control tables of a {!Hlp_rtl.Datapath.t}
+    against its binding and schedule.  These rules are the lint form of
+    the checks that used to live as [failwith]s inside
+    [Datapath.validate]; that function now delegates here (via the hook
+    {!Hlp_rtl.Datapath.set_lint_hook} installed by {!Lint}), so there is
+    one source of truth.
+
+    - [D001] mux select out of range for the port's source list
+    - [D002] unit activity disagrees with the op's schedule slot: driven
+      outside it, or idle inside it (an idle unit must be idle, an
+      occupied one must be driven)
+    - [D003] op issued more (or fewer) times than once
+    - [D004] result register load missing at the op's finish step
+    - [D005] register load selects a writer that is not the producing
+      unit, or an out-of-range writer index
+    - [D006] subtract control flag disagrees with the op kind
+    - [D007] register consumed before any value was loaded into it
+    - [D008] structural mismatch: control tables sized differently from
+      the binding (units, registers, steps) *)
+
+val check : Hlp_rtl.Datapath.t -> Diagnostic.t list

@@ -1,0 +1,17 @@
+(** Mapped-network rule family (codes [M001]-[M005]).
+
+    Soundness of a technology-mapping result ({!Hlp_mapper.Mapper.t})
+    relative to the gate netlist it covers.
+
+    - [M001] LUT with more than [k] inputs
+    - [M002] cone coverage broken: a LUT leaf is neither a primary
+      input, a constant, nor another LUT root; or a primary output is
+      not implemented
+    - [M003] LUT network disagrees with the source netlist on random
+      vectors
+    - [M004] depth not monotone: the LUT network is deeper than the gate
+      netlist it collapses (each LUT absorbs at least one gate level)
+    - [M005] LUT record inconsistent: function arity differs from the
+      leaf count *)
+
+val check : k:int -> Hlp_mapper.Mapper.t -> Diagnostic.t list

@@ -72,8 +72,12 @@ type raw_names = {
   rn_cover : (string * char) list; (* (input cube, output value) *)
 }
 
-let fail_line lineno msg =
-  failwith (Printf.sprintf "Blif.of_string: line %d: %s" lineno msg)
+(* Internal, structured parse failure: every branch carries the line the
+   offending construct came from, so callers (the lint subsystem in
+   particular) can point at the exact source line. *)
+exception Parse_error of int * string
+
+let fail_line lineno msg = raise (Parse_error (lineno, msg))
 
 (* Join continuation lines ending in '\'; strip comments starting with '#'. *)
 let logical_lines s =
@@ -145,7 +149,8 @@ let cover_to_table ~arity ~lineno cover =
   | Some '1' | None -> table
   | Some c -> fail_line lineno (Printf.sprintf "bad output value %c" c)
 
-let of_string s =
+let parse s =
+  try
   let lines = logical_lines s in
   let model = ref "blif" in
   let inputs = ref [] in
@@ -164,8 +169,12 @@ let of_string s =
       | ".model" :: rest ->
           flush_current ();
           (match rest with m :: _ -> model := m | [] -> ())
-      | ".inputs" :: rest -> flush_current (); inputs := !inputs @ rest
-      | ".outputs" :: rest -> flush_current (); outputs := !outputs @ rest
+      | ".inputs" :: rest ->
+          flush_current ();
+          inputs := !inputs @ List.map (fun n -> (lineno, n)) rest
+      | ".outputs" :: rest ->
+          flush_current ();
+          outputs := !outputs @ List.map (fun n -> (lineno, n)) rest
       | ".names" :: nets ->
           flush_current ();
           if nets = [] then fail_line lineno ".names without nets";
@@ -206,23 +215,26 @@ let of_string s =
   let b = Netlist.create_builder ~name:!model in
   let ids = Hashtbl.create 64 in
   List.iter
-    (fun net ->
-      if Hashtbl.mem ids net then failwith ("Blif.of_string: duplicate input " ^ net);
+    (fun (lineno, net) ->
+      if Hashtbl.mem ids net then fail_line lineno ("duplicate input " ^ net);
       Hashtbl.replace ids net (Netlist.add_input b net))
     !inputs;
-  (* Depth-first insertion in dependency order, detecting cycles. *)
+  (* Depth-first insertion in dependency order, detecting cycles.
+     [ref_line] is the line of the construct that demanded the net (a
+     [.names] fanin list or the [.outputs] directive), so undefined-net
+     and cycle errors point at real source lines. *)
   let visiting = Hashtbl.create 64 in
-  let rec resolve net =
+  let rec resolve ~ref_line net =
     match Hashtbl.find_opt ids net with
     | Some id -> id
-    | None ->
-        if Hashtbl.mem visiting net then
-          failwith ("Blif.of_string: combinational cycle through " ^ net);
-        (match Hashtbl.find_opt defs net with
-        | None -> failwith ("Blif.of_string: undefined net " ^ net)
+    | None -> (
+        match Hashtbl.find_opt defs net with
+        | None -> fail_line ref_line ("undefined net " ^ net)
         | Some (lineno, fanin_nets, cover) ->
+            if Hashtbl.mem visiting net then
+              fail_line lineno ("combinational cycle through " ^ net);
             Hashtbl.replace visiting net ();
-            let fanins = Array.map resolve fanin_nets in
+            let fanins = Array.map (resolve ~ref_line:lineno) fanin_nets in
             let func =
               cover_to_table ~arity:(Array.length fanins) ~lineno cover
             in
@@ -231,8 +243,18 @@ let of_string s =
             Hashtbl.replace ids net id;
             id)
   in
-  List.iter (fun out -> Netlist.mark_output b out (resolve out)) !outputs;
-  Netlist.freeze b
+  List.iter
+    (fun (lineno, out) ->
+      Netlist.mark_output b out (resolve ~ref_line:lineno out))
+    !outputs;
+  Ok (Netlist.freeze b)
+  with Parse_error (lineno, msg) -> Error (lineno, msg)
+
+let of_string s =
+  match parse s with
+  | Ok t -> t
+  | Error (lineno, msg) ->
+      failwith (Printf.sprintf "Blif.of_string: line %d: %s" lineno msg)
 
 let parse_file path =
   let ic = open_in path in

@@ -17,10 +17,16 @@ val to_string : Netlist.t -> string
 (** [output_file t path] writes [to_string t] to [path]. *)
 val output_file : Netlist.t -> string -> unit
 
-(** [of_string s] parses a BLIF model back into a netlist.  Logic may be
-    declared in any order; the result is topologically sorted.
-    @raise Failure with a line diagnostic on malformed input, functions of
-    more than {!Truth_table.max_vars} inputs, or combinational cycles. *)
+(** [parse s] parses a BLIF model back into a netlist.  Logic may be
+    declared in any order; the result is topologically sorted.  Malformed
+    input (bad covers, duplicate inputs or net definitions, undefined
+    nets, combinational cycles, functions wider than
+    {!Truth_table.max_vars}) yields [Error (lineno, message)] where
+    [lineno] is the 1-based source line of the offending construct. *)
+val parse : string -> (Netlist.t, int * string) result
+
+(** [of_string s] is [parse s], raising on malformed input.
+    @raise Failure with ["Blif.of_string: line N: ..."] diagnostics. *)
 val of_string : string -> Netlist.t
 
 (** [parse_file path] reads and parses [path]. *)

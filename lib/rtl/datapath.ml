@@ -156,47 +156,18 @@ let golden_eval t inputs =
       (Printf.sprintf "out%d" i, operand operand_))
     (Cdfg.outputs cdfg)
 
+(* The control-table checks that used to live here as fail-fast
+   [failwith]s were migrated into Hlp_lint.Rules_datapath (rule family
+   D001-D008), the single source of truth.  Linking hlp_lint (which every
+   executable in this tree does) installs the rule family below;
+   [validate] then reports every violation in one raised message. *)
+let lint_hook : (t -> string list) option ref = ref None
+let set_lint_hook f = lint_hook := Some f
+
 let validate t =
-  let schedule = t.binding.Binding.schedule in
-  let cdfg = schedule.Schedule.cdfg in
-  let issued = Array.make (Cdfg.num_ops cdfg) 0 in
-  Array.iteri
-    (fun s step ->
-      Array.iteri
-        (fun f fc ->
-          match fc with
-          | None -> ()
-          | Some fc ->
-              let inst = t.fus.(f) in
-              if
-                fc.left_sel < 0
-                || fc.left_sel >= Array.length inst.left_sources
-                || fc.right_sel < 0
-                || fc.right_sel >= Array.length inst.right_sources
-              then failwith "Datapath: select out of range";
-              let start, finish = Schedule.active_steps schedule fc.op_id in
-              if s < start || s > finish then
-                failwith "Datapath: op issued outside its schedule slot";
-              if s = start then issued.(fc.op_id) <- issued.(fc.op_id) + 1)
-        step.fu_ctrl)
-    t.ctrl;
-  Array.iteri
-    (fun id n ->
-      if n <> 1 then
-        failwith (Printf.sprintf "Datapath: op %d issued %d times" id n))
-    issued;
-  (* Every op's result load is present at its finish step. *)
-  Array.iter
-    (fun o ->
-      let _, finish = Schedule.active_steps schedule o.Cdfg.id in
-      let r =
-        Hlp_core.Reg_binding.reg_of_var t.binding.Binding.regs
-          (Lifetime.V_op o.Cdfg.id)
-      in
-      match t.ctrl.(finish).reg_load.(r) with
-      | Some w ->
-          let f = t.binding.Binding.fu_of_op.(o.Cdfg.id) in
-          if t.reg_writers.(r).(w) <> f then
-            failwith "Datapath: wrong writer selected"
-      | None -> failwith "Datapath: missing register load")
-    (Cdfg.ops cdfg)
+  match !lint_hook with
+  | Some rules -> (
+      match rules t with
+      | [] -> ()
+      | msgs -> failwith ("Datapath: " ^ String.concat "\n" msgs))
+  | None -> ()

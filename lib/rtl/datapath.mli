@@ -69,6 +69,15 @@ val num_regs : t -> int
 val golden_eval : t -> int array -> (string * int) list
 
 (** [validate t] cross-checks the control tables against the schedule
-    (every op issued exactly once, selects in range, loads matching
-    variable births); @raise Failure on violation. *)
+    (every op issued exactly once and only inside its slot, selects in
+    range, loads matching variable births, registers defined before
+    use).  The implementation is [Hlp_lint]'s datapath rule family
+    ([D001]-[D008]), installed when that library is linked; the raised
+    message lists every violation.  Without [Hlp_lint] linked this is a
+    no-op.  @raise Failure on violation. *)
 val validate : t -> unit
+
+(** [set_lint_hook rules] installs the checker behind {!validate}:
+    [rules t] returns one message per violation (empty = valid).  Called
+    by [Hlp_lint] at link time; not intended for end users. *)
+val set_lint_hook : (t -> string list) -> unit

@@ -39,19 +39,50 @@ type report = {
   depth : int;
 }
 
+(* Pipeline-wide structural checking.  Hlp_lint registers a checker at
+   link time that lints the elaborated netlist and the LUT cover and
+   raises with every Error-severity diagnostic; it runs behind
+   [config.check].  (Binding and datapath artifacts are already guarded
+   by the Binding.validate / Datapath.validate hooks.) *)
+type artifacts = {
+  a_design : string;
+  a_config : config;
+  a_binding : Binding.t;
+  a_datapath : Datapath.t;
+  a_elab : Elaborate.t;
+  a_mapping : Mapper.t;
+}
+
+let checker : (artifacts -> unit) option ref = ref None
+let set_checker f = checker := Some f
+
 let run ?(config = default_config) ~design binding =
   (* One span per design gives the per-design flow-timing breakdown in the
      telemetry dump; the mapper and simulator record their own timers. *)
   Telemetry.span ("flow:" ^ design) @@ fun () ->
-  let elab =
+  let dp, elab =
     Telemetry.time "flow.elaborate" (fun () ->
         let dp = Datapath.build ~width:config.width binding in
         Datapath.validate dp;
-        Elaborate.elaborate dp)
+        (dp, Elaborate.elaborate dp))
   in
   let mapping =
     Mapper.map ~objective:config.objective elab.Elaborate.netlist ~k:config.k
   in
+  if config.check then
+    Option.iter
+      (fun check ->
+        Telemetry.time "flow.lint" (fun () ->
+            check
+              {
+                a_design = design;
+                a_config = config;
+                a_binding = binding;
+                a_datapath = dp;
+                a_elab = elab;
+                a_mapping = mapping;
+              }))
+      !checker;
   let network = mapping.Mapper.lut_network in
   let sim_config =
     { Sim.vectors = config.vectors; seed = config.seed; check = config.check }

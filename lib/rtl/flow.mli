@@ -34,8 +34,27 @@ type report = {
   depth : int;
 }
 
+(** Every intermediate artifact of one pipeline run, handed to the
+    registered {!set_checker} checker when [config.check] is set. *)
+type artifacts = {
+  a_design : string;
+  a_config : config;
+  a_binding : Binding.t;
+  a_datapath : Datapath.t;
+  a_elab : Elaborate.t;
+  a_mapping : Hlp_mapper.Mapper.t;
+}
+
+(** [set_checker f] installs a pipeline-wide structural checker, invoked
+    after technology mapping (before simulation) whenever
+    [config.check] is set.  [Hlp_lint] registers its netlist and mapped
+    rule families here at link time; the checker raises [Failure]
+    listing every Error-severity diagnostic.  Not intended for end
+    users. *)
+val set_checker : (artifacts -> unit) -> unit
+
 (** [run config ~design binding] executes the pipeline.
-    @raise Failure if the functional check fails. *)
+    @raise Failure if the functional check or a lint check fails. *)
 val run : ?config:config -> design:string -> Binding.t -> report
 
 (** [pp_report] prints a compact human-readable report. *)

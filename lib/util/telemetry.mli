@@ -60,6 +60,10 @@ val reset : unit -> unit
     [{name, start, seconds}]). *)
 val to_json : unit -> string
 
+(** [json_escape s] escapes [s] for embedding in a JSON string literal
+    (shared by every hand-rolled JSON emitter in the tree). *)
+val json_escape : string -> string
+
 (** [write path] writes [to_json ()] to [path]. *)
 val write : string -> unit
 

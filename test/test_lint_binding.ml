@@ -1,0 +1,227 @@
+(* Binding rule family (B001-B009): deliberately corrupted bindings must
+   produce exactly the expected diagnostic codes, and a single run must
+   surface every violation at once. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module D = Hlp_lint.Diagnostic
+module Rules = Hlp_lint.Rules_binding
+
+let check_bool = Alcotest.(check bool)
+let check_codes = Alcotest.(check (list string))
+
+(* y0 = (a+b) * (c+d); y1 = (a+b) - c*d — one of each op kind, so every
+   class/swap rule is exercisable. *)
+let graph () =
+  let i k = Cdfg.Input k and o j = Cdfg.Op j in
+  Cdfg.create ~name:"lint-binding" ~num_inputs:4
+    ~ops:
+      [
+        { Cdfg.id = 0; kind = Cdfg.Add; left = i 0; right = i 1 };
+        { Cdfg.id = 1; kind = Cdfg.Add; left = i 2; right = i 3 };
+        { Cdfg.id = 2; kind = Cdfg.Mult; left = i 2; right = i 3 };
+        { Cdfg.id = 3; kind = Cdfg.Mult; left = o 0; right = o 1 };
+        { Cdfg.id = 4; kind = Cdfg.Sub; left = o 0; right = o 2 };
+      ]
+    ~outputs:[ o 3; o 4 ]
+
+let good () =
+  let g = graph () in
+  let resources = function Cdfg.Add_sub -> 1 | Cdfg.Multiplier -> 1 in
+  let schedule = Schedule.list_schedule g ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let groups =
+    [
+      (Cdfg.Add_sub, [ 0 ]); (Cdfg.Add_sub, [ 1; 4 ]);
+      (Cdfg.Multiplier, [ 2 ]); (Cdfg.Multiplier, [ 3 ]);
+    ]
+  in
+  Binding.make ~schedule ~regs ~groups
+
+let test_clean () =
+  check_codes "no diagnostics" [] (D.codes (Rules.check (good ())))
+
+(* Drop op 1 from its unit and from fu_of_op: unbound. *)
+let test_unbound_op () =
+  let b = good () in
+  let fus =
+    List.map
+      (fun fu ->
+        { fu with Binding.fu_ops = List.filter (( <> ) 1) fu.Binding.fu_ops })
+      b.Binding.fus
+  in
+  let ds = Rules.check { b with Binding.fus } in
+  check_bool "B001 reported" true (D.has_code "B001" ds);
+  check_bool "all are errors" true (List.for_all D.is_error ds)
+
+(* List op 0 on a second unit as well: bound twice, and fu_of_op can only
+   agree with one of them. *)
+let test_double_bound () =
+  let b = good () in
+  let fus =
+    List.map
+      (fun fu ->
+        if fu.Binding.fu_id = 1 then
+          { fu with Binding.fu_ops = 0 :: fu.Binding.fu_ops }
+        else fu)
+      b.Binding.fus
+  in
+  let ds = Rules.check { b with Binding.fus } in
+  check_bool "B002 reported" true (D.has_code "B002" ds);
+  check_bool "B009 reported" true (D.has_code "B009" ds)
+
+(* Swap the class labels of unit 0 (adder) and unit 2 (multiplier). *)
+let test_class_mismatch () =
+  let b = good () in
+  let flip = function
+    | Cdfg.Add_sub -> Cdfg.Multiplier
+    | Cdfg.Multiplier -> Cdfg.Add_sub
+  in
+  let fus =
+    List.map
+      (fun fu ->
+        if fu.Binding.fu_id = 0 then
+          { fu with Binding.fu_class = flip fu.Binding.fu_class }
+        else fu)
+      b.Binding.fus
+  in
+  check_bool "B003 reported" true
+    (D.has_code "B003" (Rules.check { b with Binding.fus }))
+
+let test_empty_unit () =
+  let b = good () in
+  let fus =
+    b.Binding.fus
+    @ [ { Binding.fu_id = 4; fu_class = Cdfg.Add_sub; fu_ops = [] } ]
+  in
+  check_bool "B004 reported" true
+    (D.has_code "B004" (Rules.check { b with Binding.fus }))
+
+(* Ops 0 and 1 run in the same control step (independent adds under a
+   2-adder schedule); forcing them onto one unit is a temporal clash. *)
+let test_overlap_on_unit () =
+  let g = graph () in
+  let resources = function Cdfg.Add_sub -> 2 | Cdfg.Multiplier -> 2 in
+  let schedule = Schedule.list_schedule g ~resources in
+  Alcotest.(check int)
+    "ops 0 and 1 share a step" schedule.Schedule.cstep.(0)
+    schedule.Schedule.cstep.(1);
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let b =
+    Binding.make ~schedule ~regs
+      ~groups:
+        [
+          (Cdfg.Add_sub, [ 0 ]); (Cdfg.Add_sub, [ 1; 4 ]);
+          (Cdfg.Multiplier, [ 2; 3 ]);
+        ]
+  in
+  let fus =
+    List.filter_map
+      (fun fu ->
+        match fu.Binding.fu_id with
+        | 0 -> Some { fu with Binding.fu_ops = [ 0; 1; 4 ] }
+        | 1 -> None
+        | _ -> Some { fu with Binding.fu_id = fu.Binding.fu_id - 1 })
+      b.Binding.fus
+  in
+  let fu_of_op = Array.map (fun f -> if f = 0 then 0 else f - 1) b.Binding.fu_of_op in
+  check_bool "B005 reported" true
+    (D.has_code "B005" (Rules.check { b with Binding.fus; fu_of_op }))
+
+let test_swapped_sub () =
+  let b = good () in
+  let swapped = Array.copy b.Binding.swapped in
+  swapped.(4) <- true (* op 4 is the subtraction *);
+  check_bool "B006 reported" true
+    (D.has_code "B006" (Rules.check { b with Binding.swapped }))
+
+(* Registers bound for a different CDFG's lifetimes: variables of this
+   schedule have no register at all. *)
+let test_missing_register () =
+  let b = good () in
+  let tiny =
+    Cdfg.create ~name:"tiny" ~num_inputs:2
+      ~ops:[ { Cdfg.id = 0; kind = Cdfg.Add; left = Cdfg.Input 0;
+               right = Cdfg.Input 1 } ]
+      ~outputs:[ Cdfg.Op 0 ]
+  in
+  let tiny_sched = Schedule.asap tiny in
+  let regs = Reg_binding.bind (Lifetime.analyze tiny_sched) in
+  check_bool "B008 reported" true
+    (D.has_code "B008" (Rules.check { b with Binding.regs }))
+
+(* Registers bound for a wide (4-unit) DCT schedule, binding built on the
+   serialized (1-unit) schedule of the same kernel: lifetimes stretch, so
+   register reuse that was safe under the wide schedule now overlaps. *)
+let test_register_conflict () =
+  let g = Hlp_cdfg.Benchmarks.dct4 () in
+  let wide = Schedule.list_schedule g ~resources:(fun _ -> 4) in
+  let narrow = Schedule.list_schedule g ~resources:(fun _ -> 1) in
+  let regs = Reg_binding.bind (Lifetime.analyze wide) in
+  let groups =
+    (* One unit per op: always temporally valid, isolating the register
+       rules. *)
+    Array.to_list
+      (Array.map
+         (fun o -> (Cdfg.class_of o.Cdfg.kind, [ o.Cdfg.id ]))
+         (Cdfg.ops g))
+  in
+  let b = Binding.make ~schedule:narrow ~regs ~groups in
+  check_bool "B007 reported" true (D.has_code "B007" (Rules.check b))
+
+(* One corrupted binding with several independent problems: the checker
+   must list all of them in a single run, not die on the first. *)
+let test_all_violations_in_one_run () =
+  let b = good () in
+  let fus =
+    List.map
+      (fun fu ->
+        match fu.Binding.fu_id with
+        | 0 -> { fu with Binding.fu_ops = [] } (* B004 + op 0 unbound B001 *)
+        | 1 -> { fu with Binding.fu_ops = [ 1; 4; 2 ] } (* B003: mult on adder *)
+        | _ -> fu)
+      b.Binding.fus
+  in
+  let swapped = Array.copy b.Binding.swapped in
+  swapped.(4) <- true (* B006 *);
+  let ds = Rules.check { b with Binding.fus; Binding.swapped } in
+  List.iter
+    (fun code ->
+      check_bool (code ^ " present in combined run") true (D.has_code code ds))
+    [ "B001"; "B002"; "B003"; "B004"; "B006" ]
+
+(* Binding.validate delegates to this family when hlp_lint is linked (it
+   is, in this test binary): the raised message must mention the codes. *)
+let test_validate_delegates () =
+  let b = good () in
+  let swapped = Array.copy b.Binding.swapped in
+  swapped.(4) <- true;
+  match Binding.validate { b with Binding.swapped } with
+  | () -> Alcotest.fail "validate accepted a corrupt binding"
+  | exception Failure msg ->
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "message carries the code" true (contains "B006" msg)
+
+let suite =
+  [
+    Alcotest.test_case "clean binding lints clean" `Quick test_clean;
+    Alcotest.test_case "B001 unbound op" `Quick test_unbound_op;
+    Alcotest.test_case "B002 double-bound op" `Quick test_double_bound;
+    Alcotest.test_case "B003 class mismatch" `Quick test_class_mismatch;
+    Alcotest.test_case "B004 empty unit" `Quick test_empty_unit;
+    Alcotest.test_case "B005 temporal overlap" `Quick test_overlap_on_unit;
+    Alcotest.test_case "B006 swapped subtraction" `Quick test_swapped_sub;
+    Alcotest.test_case "B007 register conflict" `Quick test_register_conflict;
+    Alcotest.test_case "B008 missing register" `Quick test_missing_register;
+    Alcotest.test_case "all violations in one run" `Quick
+      test_all_violations_in_one_run;
+    Alcotest.test_case "validate delegates to lint" `Quick
+      test_validate_delegates;
+  ]

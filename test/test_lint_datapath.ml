@@ -1,0 +1,213 @@
+(* Datapath rule family (D001-D008): corrupting the FSM control tables of
+   a correctly built datapath must produce the expected diagnostic codes,
+   all of them in one run. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Datapath = Hlp_rtl.Datapath
+module D = Hlp_lint.Diagnostic
+module Rules = Hlp_lint.Rules_datapath
+
+let check_bool = Alcotest.(check bool)
+
+let good () =
+  let i k = Cdfg.Input k and o j = Cdfg.Op j in
+  let g =
+    Cdfg.create ~name:"lint-datapath" ~num_inputs:4
+      ~ops:
+        [
+          { Cdfg.id = 0; kind = Cdfg.Add; left = i 0; right = i 1 };
+          { Cdfg.id = 1; kind = Cdfg.Add; left = i 2; right = i 3 };
+          { Cdfg.id = 2; kind = Cdfg.Mult; left = i 2; right = i 3 };
+          { Cdfg.id = 3; kind = Cdfg.Mult; left = o 0; right = o 1 };
+          { Cdfg.id = 4; kind = Cdfg.Sub; left = o 0; right = o 2 };
+        ]
+      ~outputs:[ o 3; o 4 ]
+  in
+  let resources = function Cdfg.Add_sub -> 1 | Cdfg.Multiplier -> 1 in
+  let schedule = Schedule.list_schedule g ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let binding =
+    Hlp_core.Lopass.bind ~regs ~resources:(fun _ -> 2) schedule
+  in
+  Datapath.build ~width:4 binding
+
+(* The ctrl tables are arrays of records of arrays; deep-copy before
+   mutating so each test corrupts its own instance. *)
+let copy_ctrl dp =
+  {
+    dp with
+    Datapath.ctrl =
+      Array.map
+        (fun (s : Datapath.step_ctrl) ->
+          {
+            Datapath.fu_ctrl = Array.copy s.Datapath.fu_ctrl;
+            reg_load = Array.copy s.Datapath.reg_load;
+          })
+        dp.Datapath.ctrl;
+  }
+
+(* Find some (step, fu) with an active op. *)
+let some_active dp =
+  let found = ref None in
+  Array.iteri
+    (fun s (step : Datapath.step_ctrl) ->
+      Array.iteri
+        (fun f fc ->
+          match (fc, !found) with
+          | Some fc, None -> found := Some (s, f, fc)
+          | _ -> ())
+        step.Datapath.fu_ctrl)
+    dp.Datapath.ctrl;
+  match !found with Some x -> x | None -> Alcotest.fail "no active op"
+
+let test_clean () =
+  Alcotest.(check (list string)) "no diagnostics" []
+    (D.codes (Rules.check (good ())))
+
+let test_select_out_of_range () =
+  let dp = copy_ctrl (good ()) in
+  let s, f, fc = some_active dp in
+  dp.Datapath.ctrl.(s).Datapath.fu_ctrl.(f) <-
+    Some { fc with Datapath.left_sel = 99 };
+  check_bool "D001 reported" true (D.has_code "D001" (Rules.check dp))
+
+let test_idle_inside_slot () =
+  let dp = copy_ctrl (good ()) in
+  let s, f, _ = some_active dp in
+  dp.Datapath.ctrl.(s).Datapath.fu_ctrl.(f) <- None;
+  let ds = Rules.check dp in
+  check_bool "D002 reported" true (D.has_code "D002" ds);
+  check_bool "D003 reported (op never issued)" true (D.has_code "D003" ds)
+
+let test_driven_outside_slot () =
+  let dp = copy_ctrl (good ()) in
+  let s, f, fc = some_active dp in
+  (* Re-drive the same op in some other step where the unit is idle. *)
+  let other = ref None in
+  Array.iteri
+    (fun s' (step : Datapath.step_ctrl) ->
+      if !other = None && s' <> s && step.Datapath.fu_ctrl.(f) = None then
+        other := Some s')
+    dp.Datapath.ctrl;
+  match !other with
+  | None -> () (* every step busy: nothing to corrupt here *)
+  | Some s' ->
+      dp.Datapath.ctrl.(s').Datapath.fu_ctrl.(f) <- Some fc;
+      let ds = Rules.check dp in
+      check_bool "D002 or D003 reported" true
+        (D.has_code "D002" ds || D.has_code "D003" ds)
+
+let test_missing_load () =
+  let dp = copy_ctrl (good ()) in
+  let binding = dp.Datapath.binding in
+  let schedule = binding.Binding.schedule in
+  let _, finish = Schedule.active_steps schedule 0 in
+  let r =
+    Reg_binding.reg_of_var binding.Binding.regs (Lifetime.V_op 0)
+  in
+  dp.Datapath.ctrl.(finish).Datapath.reg_load.(r) <- None;
+  check_bool "D004 reported" true (D.has_code "D004" (Rules.check dp))
+
+let test_bad_writer_index () =
+  let dp = copy_ctrl (good ()) in
+  let binding = dp.Datapath.binding in
+  let schedule = binding.Binding.schedule in
+  let _, finish = Schedule.active_steps schedule 0 in
+  let r =
+    Reg_binding.reg_of_var binding.Binding.regs (Lifetime.V_op 0)
+  in
+  dp.Datapath.ctrl.(finish).Datapath.reg_load.(r) <- Some 42;
+  check_bool "D005 reported" true (D.has_code "D005" (Rules.check dp))
+
+let test_subtract_flag () =
+  let dp = copy_ctrl (good ()) in
+  (* Op 4 is the subtraction: clear its flag wherever it is driven. *)
+  Array.iter
+    (fun (step : Datapath.step_ctrl) ->
+      Array.iteri
+        (fun f fc ->
+          match fc with
+          | Some fc when fc.Datapath.op_id = 4 ->
+              step.Datapath.fu_ctrl.(f) <-
+                Some { fc with Datapath.subtract = false }
+          | _ -> ())
+        step.Datapath.fu_ctrl)
+    dp.Datapath.ctrl;
+  check_bool "D006 reported" true (D.has_code "D006" (Rules.check dp))
+
+let test_read_before_load () =
+  let dp = copy_ctrl (good ()) in
+  (* Forget that the environment preloads the input registers: the first
+     ops now read registers nothing ever defined. *)
+  let dp = { dp with Datapath.input_regs = [] } in
+  check_bool "D007 reported" true (D.has_code "D007" (Rules.check dp))
+
+let test_shape_mismatch () =
+  let dp = good () in
+  let dp =
+    { dp with Datapath.ctrl = Array.sub dp.Datapath.ctrl 0 1 }
+  in
+  check_bool "D008 reported" true (D.has_code "D008" (Rules.check dp))
+
+(* Several corruptions at once: one run reports every family member. *)
+let test_all_violations_in_one_run () =
+  let dp = copy_ctrl (good ()) in
+  let s, f, fc = some_active dp in
+  dp.Datapath.ctrl.(s).Datapath.fu_ctrl.(f) <-
+    Some { fc with Datapath.left_sel = 99 } (* D001 *);
+  Array.iter
+    (fun (step : Datapath.step_ctrl) ->
+      Array.iteri
+        (fun f fc ->
+          match fc with
+          | Some fc when fc.Datapath.op_id = 4 ->
+              step.Datapath.fu_ctrl.(f) <-
+                Some { fc with Datapath.subtract = false } (* D006 *)
+          | _ -> ())
+        step.Datapath.fu_ctrl)
+    dp.Datapath.ctrl;
+  let binding = dp.Datapath.binding in
+  let _, finish =
+    Schedule.active_steps binding.Binding.schedule 0
+  in
+  let r = Reg_binding.reg_of_var binding.Binding.regs (Lifetime.V_op 0) in
+  dp.Datapath.ctrl.(finish).Datapath.reg_load.(r) <- None (* D004 *);
+  let ds = Rules.check dp in
+  List.iter
+    (fun code ->
+      check_bool (code ^ " present in combined run") true (D.has_code code ds))
+    [ "D001"; "D004"; "D006" ]
+
+(* Datapath.validate delegates here (hlp_lint is linked in this binary). *)
+let test_validate_delegates () =
+  let dp = copy_ctrl (good ()) in
+  let s, f, fc = some_active dp in
+  dp.Datapath.ctrl.(s).Datapath.fu_ctrl.(f) <-
+    Some { fc with Datapath.left_sel = 99 };
+  match Datapath.validate dp with
+  | () -> Alcotest.fail "validate accepted a corrupt datapath"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "clean datapath lints clean" `Quick test_clean;
+    Alcotest.test_case "D001 select out of range" `Quick
+      test_select_out_of_range;
+    Alcotest.test_case "D002/D003 idle inside slot" `Quick
+      test_idle_inside_slot;
+    Alcotest.test_case "D002 driven outside slot" `Quick
+      test_driven_outside_slot;
+    Alcotest.test_case "D004 missing result load" `Quick test_missing_load;
+    Alcotest.test_case "D005 bad writer index" `Quick test_bad_writer_index;
+    Alcotest.test_case "D006 subtract flag" `Quick test_subtract_flag;
+    Alcotest.test_case "D007 read before load" `Quick test_read_before_load;
+    Alcotest.test_case "D008 shape mismatch" `Quick test_shape_mismatch;
+    Alcotest.test_case "all violations in one run" `Quick
+      test_all_violations_in_one_run;
+    Alcotest.test_case "validate delegates to lint" `Quick
+      test_validate_delegates;
+  ]

@@ -22,4 +22,9 @@ let () =
       ("parallel", Test_parallel.suite);
       ("sa_table", Test_sa_table.suite);
       ("hlpower_stress", Test_hlpower_stress.suite);
+      ("lint_binding", Test_lint_binding.suite);
+      ("lint_datapath", Test_lint_datapath.suite);
+      ("lint_netlist", Test_lint_netlist.suite);
+      ("lint_mapped", Test_lint_mapped.suite);
+      ("lint_flow", Test_lint_flow.suite);
     ]
