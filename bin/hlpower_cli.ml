@@ -96,21 +96,60 @@ let prepare bench =
   let regs = Reg_binding.bind (Lifetime.analyze schedule) in
   (p, schedule, regs)
 
+(* HLP_BENCH_JSON=path: dump the flow reports of this invocation plus
+   the SA-table hit rates as one JSON document (same per-design fields
+   as the bench harness's "designs" section). *)
+let write_bench_json_if_requested ?sa_table reports =
+  match Sys.getenv_opt "HLP_BENCH_JSON" with
+  | Some path when String.trim path <> "" -> (
+      let sa =
+        match sa_table with
+        | None -> "null"
+        | Some t ->
+            Printf.sprintf
+              "{\"entries\": %d, \"hits\": %d, \"misses\": %d, \
+               \"disk_hits\": %d, \"disk_entries\": %d}"
+              (List.length (Sa_table.entries t))
+              (Sa_table.hits t) (Sa_table.misses t) (Sa_table.disk_hits t)
+              (Sa_table.disk_entries t)
+      in
+      let body =
+        Printf.sprintf
+          "{\n  \"schema\": \"hlp-bench-v1\",\n  \"designs\": [\n    %s\n  \
+           ],\n  \"sa_table\": %s\n}\n"
+          (String.concat ",\n    " (List.map Flow.json_of_report reports))
+          sa
+      in
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc body);
+        Format.printf "wrote bench JSON to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "[bench] cannot write %s: %s@." path msg)
+  | _ -> ()
+
 let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
     port_assign testbench_out verbose =
   setup_logs verbose;
   try
     let p, schedule, regs = prepare bench in
+    let sa_table_used = ref None in
     let binding =
       match binder with
       | "lopass" ->
           Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule
       | "hlpower" ->
+          (* --sa-table names one explicit file (the paper's workflow);
+             otherwise HLP_SA_CACHE selects the versioned cache
+             directory, and without either the table stays in-memory. *)
           let sa_table =
             match sa_path with
             | Some path when Sys.file_exists path -> Sa_table.load path
-            | _ -> Sa_table.create ~width ~k:4 ()
+            | _ -> Sa_table.create_default ~width ~k:4 ()
           in
+          sa_table_used := Some sa_table;
           let params = Hlpower.calibrate ~alpha sa_table in
           let r =
             Hlpower.bind ~params ~sa_table ~regs
@@ -120,10 +159,13 @@ let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
           in
           (match sa_path with
           | Some path -> Sa_table.save sa_table path
-          | None -> ());
+          | None -> Sa_table.persist sa_table);
           Logs.info (fun m ->
-              m "hlpower: %d iterations, %d promotions" r.Hlpower.iterations
-                r.Hlpower.promoted);
+              m "hlpower: %d iterations, %d promotions (SA table: %d hits, \
+                 %d misses, %d from disk)"
+                r.Hlpower.iterations r.Hlpower.promoted
+                (Sa_table.hits sa_table) (Sa_table.misses sa_table)
+                (Sa_table.disk_hits sa_table));
           r.Hlpower.binding
       | other -> failwith ("unknown binder: " ^ other)
     in
@@ -137,6 +179,7 @@ let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
       Flow.run ~config ~design:(bench ^ "-" ^ binder) binding
     in
     Format.printf "%a@." Flow.pp_report report;
+    write_bench_json_if_requested ?sa_table:!sa_table_used [ report ];
     (match vhdl_out with
     | Some path ->
         let dp = Datapath.build ~width binding in
@@ -161,6 +204,11 @@ let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
   with
   | (Failure msg | Invalid_argument msg) ->
       Format.eprintf "error: %s@." msg;
+      1
+  | Sa_table.Parse_error (line, msg) ->
+      Format.eprintf "error: SA table %s: line %d: %s@."
+        (Option.value ~default:"?" sa_path)
+        line msg;
       1
   | Not_found ->
       Format.eprintf "error: unknown benchmark %s@." bench;
@@ -232,7 +280,7 @@ let run_lint bench binder width json_out verbose =
           | [] -> raise Not_found
           | l -> l)
     in
-    let sa_table = lazy (Sa_table.create ~width ~k:4 ()) in
+    let sa_table = lazy (Sa_table.create_default ~width ~k:4 ()) in
     let config = { Flow.default_config with Flow.width } in
     let results =
       List.concat_map
@@ -295,7 +343,7 @@ let run_compare bench width vectors verbose =
   try
     let p, schedule, regs = prepare bench in
     let lop = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
-    let sa_table = Sa_table.create ~width ~k:4 () in
+    let sa_table = Sa_table.create_default ~width ~k:4 () in
     let min_res cls = max 1 (Schedule.max_density schedule cls) in
     let hlp cfg_alpha =
       let params = Hlpower.calibrate ~alpha:cfg_alpha sa_table in
@@ -311,6 +359,7 @@ let run_compare bench width vectors verbose =
     let rl = report (bench ^ "-lopass") lop in
     let r1 = report (bench ^ "-hlpower-a1.0") (hlp 1.0) in
     let r5 = report (bench ^ "-hlpower-a0.5") (hlp 0.5) in
+    write_bench_json_if_requested ~sa_table [ rl; r1; r5 ];
     let pc a b = Hlp_util.Stats.percent_change ~from:a ~to_:b in
     Format.printf
       "change vs LOPASS: alpha=1.0 power %+.1f%%, alpha=0.5 power %+.1f%%, \

@@ -202,19 +202,32 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
                 schedule.Schedule.cstep.(b.Cdfg.id))
             ops_of_cls
         in
-        let units = ref [] in
+        (* Growable array of units, scanned in creation order (first
+           fit): appending to the old list representation copied the
+           whole list per op, quadratic in unit count. *)
+        let units = ref [||] in
+        let n_units = ref 0 in
+        let push n =
+          if !n_units = Array.length !units then begin
+            let grown = Array.make (max 16 (2 * !n_units)) n in
+            Array.blit !units 0 grown 0 !n_units;
+            units := grown
+          end;
+          !units.(!n_units) <- n;
+          incr n_units
+        in
         List.iter
           (fun op ->
             let n = node_of_op schedule regs op in
-            let rec place = function
-              | [] -> units := !units @ [ ref n ]
-              | unit :: rest ->
-                  if compatible !unit n then unit := merge !unit n
-                  else place rest
+            let rec place i =
+              if i >= !n_units then push n
+              else if compatible !units.(i) n then
+                !units.(i) <- merge !units.(i) n
+              else place (i + 1)
             in
-            place !units)
+            place 0)
           sorted;
-        u := Array.of_list (List.map (fun r -> !r) !units);
+        u := Array.sub !units 0 !n_units;
         v := []
       end;
       if count () > resources cls then

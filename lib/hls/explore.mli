@@ -33,6 +33,10 @@ type config = {
   add_range : int list;  (** adder-class allocations to try *)
   mult_range : int list;  (** multiplier allocations to try *)
   alphas : float list;  (** Eq. 4 weightings to try *)
+  sa_cache_dir : string option;
+      (** persistent SA-table cache directory; [None] (the default)
+          defers to the [HLP_SA_CACHE] environment variable via
+          {!Hlp_core.Sa_table.create_default} *)
 }
 
 (** Allocations 1/2/4 on both classes, alpha in {1.0, 0.5}. *)

@@ -109,6 +109,33 @@ let run ?(config = default_config) ~design binding =
     depth = mapping.Mapper.depth;
   }
 
+(* Machine-readable form of a report, as one JSON object.  Floats are
+   printed with %.17g so two reports are textually equal iff the metrics
+   are bit-identical — this is what lets the bench CI diff a warm-cache
+   run against a cold one. *)
+let json_float x = Printf.sprintf "%.17g" x
+
+let json_of_report r =
+  let s = Telemetry.json_escape in
+  String.concat ""
+    [
+      "{";
+      Printf.sprintf "\"design\": \"%s\", " (s r.design);
+      Printf.sprintf "\"dynamic_power_mw\": %s, " (json_float r.dynamic_power_mw);
+      Printf.sprintf "\"clock_period_ns\": %s, " (json_float r.clock_period_ns);
+      Printf.sprintf "\"luts\": %d, " r.luts;
+      Printf.sprintf "\"largest_mux\": %d, " r.largest_mux;
+      Printf.sprintf "\"mux_length\": %d, " r.mux_length;
+      Printf.sprintf "\"toggle_rate_mhz\": %s, " (json_float r.toggle_rate_mhz);
+      Printf.sprintf "\"est_total_sa\": %s, " (json_float r.est_total_sa);
+      Printf.sprintf "\"est_glitch_sa\": %s, " (json_float r.est_glitch_sa);
+      Printf.sprintf "\"sim_glitch_fraction\": %s, "
+        (json_float r.sim_glitch_fraction);
+      Printf.sprintf "\"cycles\": %d, " r.cycles;
+      Printf.sprintf "\"depth\": %d" r.depth;
+      "}";
+    ]
+
 let pp_report fmt r =
   Format.fprintf fmt
     "%s: %.1f mW, clk %.2f ns, %d LUTs (depth %d), largest mux %d, mux \

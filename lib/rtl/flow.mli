@@ -59,3 +59,9 @@ val run : ?config:config -> design:string -> Binding.t -> report
 
 (** [pp_report] prints a compact human-readable report. *)
 val pp_report : Format.formatter -> report -> unit
+
+(** [json_of_report r] renders [r] as one JSON object.  Floats use
+    [%.17g], so two rendered reports are textually equal iff their
+    metrics are bit-identical (the property the bench harness's
+    warm-vs-cold cache diff checks). *)
+val json_of_report : report -> string

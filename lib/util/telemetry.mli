@@ -64,6 +64,11 @@ val to_json : unit -> string
     (shared by every hand-rolled JSON emitter in the tree). *)
 val json_escape : string -> string
 
+(** [json_float x] renders a finite float as a JSON number (readable
+    [%.6f]-style precision — suited to durations, not to values that
+    must round-trip bit-exactly). *)
+val json_float : float -> string
+
 (** [write path] writes [to_json ()] to [path]. *)
 val write : string -> unit
 

@@ -12,6 +12,7 @@ let small_config =
     add_range = [ 1; 2 ];
     mult_range = [ 1; 2 ];
     alphas = [ 0.5 ];
+    sa_cache_dir = None;
   }
 
 let test_sweep_covers_grid () =

@@ -92,10 +92,55 @@ let test_first_fit_fallback_runs_and_binds () =
        (fun acc f -> acc + List.length f.Bind.fu_ops)
        0 r.H.binding.Bind.fus)
 
+(* The same adversarial motif at scale: [dup] copies of every motif op,
+   so the peak density — and with it the number of units the first-fit
+   packer manages — grows to 2*dup.  This is the regime where the old
+   [units := !units @ [ref n]] append was quadratic in unit count. *)
+let test_first_fit_fallback_at_scale () =
+  let dup = 100 in
+  let n = 5 * dup in
+  let latency = function Cdfg.Mult -> 2 | _ -> 1 in
+  let base = [| 1; 5; 3; 4; 1 |] in
+  let ops =
+    List.init n (fun i ->
+        { Cdfg.id = i; kind = Cdfg.Mult; left = Cdfg.Input 0;
+          right = Cdfg.Input 1 })
+  in
+  let g =
+    Cdfg.create ~name:"fallback500" ~num_inputs:2 ~ops
+      ~outputs:(List.init n (fun i -> Cdfg.Op i))
+  in
+  let cstep = Array.init n (fun i -> base.(i mod 5)) in
+  let schedule = Schedule.of_csteps ~latency g ~cstep in
+  let bound = Schedule.max_density schedule Cdfg.Multiplier in
+  check_int "density bound scales with dup" (2 * dup) bound;
+  let resources = function Cdfg.Add_sub -> 1 | Cdfg.Multiplier -> bound in
+  let regs = RB.bind (Lifetime.analyze schedule) in
+  let sa_table = ST.create ~width:2 ~k:4 () in
+  let before = Telemetry.value fallback_counter in
+  let t0 = Unix.gettimeofday () in
+  let r = H.bind ~sa_table ~regs ~resources schedule in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_bool "first-fit fallback was exercised at 500 ops" true
+    (Telemetry.value fallback_counter > before);
+  Bind.validate r.H.binding;
+  check_bool "within the resource constraint" true
+    (Bind.num_fus r.H.binding Cdfg.Multiplier <= bound);
+  check_int "all ops bound" n
+    (List.fold_left
+       (fun acc f -> acc + List.length f.Bind.fu_ops)
+       0 r.H.binding.Bind.fus);
+  check_bool
+    (Printf.sprintf "bound %d ops through the fallback in %.3f s (budget \
+                     10 s)" n dt)
+    true (dt < 10.0)
+
 let suite =
   [
     Alcotest.test_case "200-op CDFG binds under a second" `Slow
       test_200_op_binding_is_fast;
     Alcotest.test_case "first-fit fallback reached and valid" `Quick
       test_first_fit_fallback_runs_and_binds;
+    Alcotest.test_case "first-fit fallback at 500 ops" `Slow
+      test_first_fit_fallback_at_scale;
   ]

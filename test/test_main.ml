@@ -21,6 +21,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("parallel", Test_parallel.suite);
       ("sa_table", Test_sa_table.suite);
+      ("sa_cache", Test_sa_cache.suite);
       ("hlpower_stress", Test_hlpower_stress.suite);
       ("lint_binding", Test_lint_binding.suite);
       ("lint_datapath", Test_lint_datapath.suite);

@@ -31,6 +31,7 @@ let test_sweep_jobs_invariant () =
       add_range = [ 1; 2 ];
       mult_range = [ 1; 2 ];
       alphas = [ 1.0; 0.5 ];
+      sa_cache_dir = None;
     }
   in
   let run jobs =

@@ -52,6 +52,95 @@ let test_precompute_then_all_hits () =
   ignore (ST.lookup t Cdfg.Multiplier ~left:3 ~right:1);
   check_int "no further misses after precompute" misses_before (ST.misses t)
 
+(* Regression: the old bound [for right = left to max 1 (max_inputs + 2
+   - left)] skipped keys like (max_inputs, max_inputs), so binder
+   lookups past the triangle fell through to serial on-demand computes
+   inside the matching loop.  The full symmetric square must be warm. *)
+let test_precompute_covers_full_square () =
+  let max_inputs = 4 in
+  let t = ST.create ~width:2 ~k:4 () in
+  ST.precompute t ~max_inputs;
+  let expected_per_class = max_inputs * (max_inputs + 1) / 2 in
+  check_int "square fully enumerated"
+    (List.length Cdfg.all_classes * expected_per_class)
+    (List.length (ST.entries t));
+  let misses_before = ST.misses t in
+  List.iter
+    (fun cls ->
+      for left = 1 to max_inputs do
+        for right = 1 to max_inputs do
+          ignore (ST.lookup t cls ~left ~right)
+        done
+      done)
+    Cdfg.all_classes;
+  check_int "post-precompute sweep is 100% hits" misses_before (ST.misses t)
+
+(* After precompute with max_inputs = the class's op count (no merged
+   port can see more distinct sources than ops merged), a full bind
+   performs zero on-demand computes. *)
+let test_post_bind_sweep_all_hits () =
+  let module Schedule = Hlp_cdfg.Schedule in
+  let module Lifetime = Hlp_cdfg.Lifetime in
+  let module RB = Hlp_core.Reg_binding in
+  let module H = Hlp_core.Hlpower in
+  let n = 12 in
+  let num_inputs = 4 in
+  let ops =
+    List.init n (fun i ->
+        {
+          Cdfg.id = i;
+          kind = (if i mod 3 = 0 then Cdfg.Mult else Cdfg.Add);
+          left = Cdfg.Input (i mod num_inputs);
+          right = Cdfg.Input ((i + 1) mod num_inputs);
+        })
+  in
+  let g =
+    Cdfg.create ~name:"sweep12" ~num_inputs ~ops
+      ~outputs:[ Cdfg.Op (n - 1); Cdfg.Op (n - 2) ]
+  in
+  let resources = function Cdfg.Add_sub -> 3 | Cdfg.Multiplier -> 2 in
+  let schedule = Schedule.list_schedule g ~resources in
+  let regs = RB.bind (Lifetime.analyze schedule) in
+  let t = ST.create ~width:2 ~k:4 () in
+  let max_ops =
+    List.fold_left
+      (fun m cls -> max m (Cdfg.num_ops_of_class g cls))
+      1 Cdfg.all_classes
+  in
+  ST.precompute t ~max_inputs:max_ops;
+  let misses_before = ST.misses t in
+  let min_res cls = max 1 (Schedule.max_density schedule cls) in
+  let r = H.bind ~sa_table:t ~regs ~resources:min_res schedule in
+  ignore r;
+  check_int "bind after precompute recomputes nothing" misses_before
+    (ST.misses t)
+
+(* Save/load must round-trip entries bit-exactly: the old %.9g format
+   lost low bits, so a reloaded table could produce different Eq. 4
+   weights — and a different binding — than the run that wrote it. *)
+let test_save_load_roundtrip_bit_exact () =
+  let t = ST.create ~width:3 ~k:4 () in
+  ST.precompute t ~max_inputs:3;
+  let path = Filename.temp_file "sa_table" ".table" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      ST.save t path;
+      let t' = ST.load path in
+      check_int "width restored" (ST.width t) (ST.width t');
+      check_int "k restored" (ST.k t) (ST.k t');
+      let e = ST.entries t and e' = ST.entries t' in
+      check_int "same entry count" (List.length e) (List.length e');
+      List.iter2
+        (fun (cls, l, r, sa) (cls', l', r', sa') ->
+          check_bool "same key" true (cls = cls' && l = l' && r = r');
+          check_bool
+            (Printf.sprintf "bit-equal SA for %s (%d,%d): %h vs %h"
+               (Cdfg.class_to_string cls) l r sa sa')
+            true
+            (Int64.equal (Int64.bits_of_float sa) (Int64.bits_of_float sa')))
+        e e')
+
 let suite =
   [
     Alcotest.test_case "mirrored lookup is a hit, not a recompute" `Quick
@@ -62,4 +151,10 @@ let suite =
       test_repeated_lookup_counts_hits;
     Alcotest.test_case "precompute leaves only hits" `Quick
       test_precompute_then_all_hits;
+    Alcotest.test_case "precompute covers the full symmetric square" `Quick
+      test_precompute_covers_full_square;
+    Alcotest.test_case "post-bind lookup sweep is 100% hits" `Quick
+      test_post_bind_sweep_all_hits;
+    Alcotest.test_case "save/load round-trips floats bit-exactly" `Quick
+      test_save_load_roundtrip_bit_exact;
   ]
