@@ -22,7 +22,14 @@
      HLP_BENCH_JSON=path.json  write the machine-readable benchmark
                   report (per-design Sec. 6 metrics, bind times,
                   SA-table hit rates, phase timings) on exit
-     HLP_TELEMETRY=path.json  dump counters/timers/spans on exit *)
+     HLP_TELEMETRY=path.json  dump counters/timers/spans on exit
+     HLP_LOADGEN=socket  skip the tables and instead drive a running
+                  hlpowerd at the given Unix-socket path with concurrent
+                  clients; reports throughput and latency percentiles.
+                  Tuned by HLP_LOADGEN_CLIENTS (default 4),
+                  HLP_LOADGEN_REQUESTS per client (default 25),
+                  HLP_LOADGEN_OP (ping|bind|flow|stats, default bind) and
+                  HLP_LOADGEN_BENCH (default pr) *)
 
 module Cdfg = Hlp_cdfg.Cdfg
 module Schedule = Hlp_cdfg.Schedule
@@ -686,6 +693,90 @@ let bench_json_if_requested ~total_seconds =
         Printf.eprintf "[bench] wrote %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "[bench] cannot write %s: %s\n%!" path msg)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent load generator (HLP_LOADGEN=socket): each client thread
+   holds its own connection and issues requests back to back; the
+   aggregate exercises the daemon's queue, worker pool and warm SA
+   tables under real contention. *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let loadgen socket =
+  let module P = Hlp_server.Protocol in
+  let module C = Hlp_server.Client in
+  let module J = Hlp_server.Json in
+  let env name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let clients = max 1 (env "HLP_LOADGEN_CLIENTS" 4) in
+  let requests = max 1 (env "HLP_LOADGEN_REQUESTS" 25) in
+  let op_name =
+    Option.value ~default:"bind" (Sys.getenv_opt "HLP_LOADGEN_OP")
+  in
+  let bench =
+    Option.value ~default:"pr" (Sys.getenv_opt "HLP_LOADGEN_BENCH")
+  in
+  let op =
+    match op_name with
+    | "ping" -> P.Ping 0
+    | "bind" -> P.Bind { P.default_bind_params with P.bench; width }
+    | "flow" ->
+        P.Flow
+          { P.default_bind_params with P.bench; width; vectors = min vectors 50 }
+    | "stats" -> P.Stats
+    | other -> failwith ("HLP_LOADGEN_OP: unknown op " ^ other)
+  in
+  Printf.printf
+    "loadgen: %d clients x %d %s requests (bench %s) against %s\n%!" clients
+    requests op_name bench socket;
+  let ok = Atomic.make 0 and errors = Atomic.make 0 in
+  let latencies = Array.make (clients * requests) 0. in
+  let client_body c_idx =
+    let c = C.connect socket in
+    Fun.protect
+      ~finally:(fun () -> C.close c)
+      (fun () ->
+        for r = 0 to requests - 1 do
+          let t0 = now () in
+          match
+            C.request c { P.id = J.Int ((c_idx * requests) + r); deadline_ms = None; op }
+          with
+          | Ok { P.payload = P.Result _; _ } ->
+              latencies.((c_idx * requests) + r) <- now () -. t0;
+              Atomic.incr ok
+          | Ok { P.payload = P.Error _; _ } | Error _ ->
+              latencies.((c_idx * requests) + r) <- now () -. t0;
+              Atomic.incr errors
+        done)
+  in
+  let t0 = now () in
+  let threads =
+    List.init clients (fun i -> Thread.create client_body i)
+  in
+  List.iter Thread.join threads;
+  let wall = now () -. t0 in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let total = Atomic.get ok + Atomic.get errors in
+  Printf.printf "loadgen: %d ok, %d errors in %.2f s (%.1f req/s)\n"
+    (Atomic.get ok) (Atomic.get errors) wall
+    (float_of_int total /. wall);
+  Printf.printf
+    "loadgen: latency p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms\n"
+    (1000. *. percentile sorted 0.50)
+    (1000. *. percentile sorted 0.90)
+    (1000. *. percentile sorted 0.99)
+    (1000. *. sorted.(Array.length sorted - 1));
+  if Atomic.get errors > 0 then exit 1
+
+let () =
+  match Sys.getenv_opt "HLP_LOADGEN" with
+  | Some socket when String.trim socket <> "" -> loadgen socket; exit 0
   | _ -> ()
 
 let () =

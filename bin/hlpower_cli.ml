@@ -379,14 +379,33 @@ let run_compare bench width vectors verbose =
 
 (* --- explore command --- *)
 
-let run_explore bench width vectors verbose =
+let sa_cache_arg =
+  let doc = "Persistent SA-table cache directory (overrides \
+             $(b,HLP_SA_CACHE))." in
+  Arg.(value & opt (some string) None & info [ "sa-cache" ] ~docv:"DIR" ~doc)
+
+let alphas_arg =
+  let doc = "Comma-separated Eq. 4 alpha values to sweep (default 1.0,0.5)." in
+  Arg.(value & opt (some (list float)) None & info [ "alphas" ] ~doc)
+
+let run_explore bench width vectors sa_cache alphas verbose =
   setup_logs verbose;
   try
     let p = Benchmarks.find bench in
     let cdfg = Benchmarks.generate p in
+    (match alphas with
+    | Some [] -> failwith "--alphas needs at least one value"
+    | Some l when List.exists (fun a -> a < 0. || a > 1.) l ->
+        failwith "--alphas values must lie in [0, 1]"
+    | _ -> ());
     let config =
       { Hlp_hls.Explore.default_config with
-        Hlp_hls.Explore.width; vectors }
+        Hlp_hls.Explore.width;
+        vectors;
+        sa_cache_dir = sa_cache;
+        alphas =
+          Option.value ~default:Hlp_hls.Explore.default_config.alphas alphas
+      }
     in
     let points = Hlp_hls.Explore.sweep ~config cdfg in
     let front = Hlp_hls.Explore.pareto points in
@@ -413,7 +432,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(const run_explore $ bench_arg $ width_arg $ vectors_arg
-          $ verbose_arg)
+          $ sa_cache_arg $ alphas_arg $ verbose_arg)
 
 let compare_cmd =
   let doc = "Compare LOPASS vs HLPower (alpha = 1.0 and 0.5) on a benchmark" in
@@ -422,11 +441,195 @@ let compare_cmd =
     Term.(const run_compare $ bench_arg $ width_arg $ vectors_arg
           $ verbose_arg)
 
+(* --- serve command --- *)
+
+module Server = Hlp_server.Server
+module Protocol = Hlp_server.Protocol
+module Client = Hlp_server.Client
+module Sjson = Hlp_server.Json
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(value & opt string Server.default_config.Server.socket_path
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Also listen on 127.0.0.1:$(docv)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains executing requests (default: $(b,HLP_JOBS) or \
+             the core count)." in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Bounded request-queue capacity; beyond it requests are \
+             refused with $(b,overloaded)." in
+  Arg.(value & opt int Server.default_config.Server.queue_capacity
+       & info [ "queue" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Default per-request deadline in milliseconds for requests \
+             that carry none." in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_frame_arg =
+  let doc = "Per-frame byte cap (default 1 MiB)." in
+  Arg.(value & opt int Protocol.default_max_frame
+       & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let run_serve socket tcp workers queue deadline max_frame sa_cache verbose =
+  setup_logs verbose;
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Info);
+  try
+    let config =
+      {
+        Server.socket_path = socket;
+        tcp_port = tcp;
+        workers =
+          Option.value ~default:Server.default_config.Server.workers workers;
+        queue_capacity = queue;
+        default_deadline_ms = deadline;
+        max_frame;
+        sa_cache_dir = sa_cache;
+      }
+    in
+    let server = Server.create ~config () in
+    Server.install_signal_handlers server;
+    Server.run server;
+    0
+  with Unix.Unix_error (err, _, arg) ->
+    Format.eprintf "error: cannot start daemon on %s: %s@."
+      (if arg = "" then socket else arg)
+      (Unix.error_message err);
+    1
+
+let serve_cmd =
+  let doc = "Run the binding-as-a-service daemon (hlpowerd): newline-\
+             delimited JSON over a Unix socket, bounded queue, deadlines, \
+             graceful drain on SIGTERM" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ workers_arg $ queue_arg
+      $ deadline_arg $ max_frame_arg $ sa_cache_arg $ verbose_arg)
+
+(* --- client command --- *)
+
+let op_arg =
+  let doc = "Operation: ping, bind, flow, explore, lint or stats." in
+  Arg.(value & pos 0 string "stats" & info [] ~docv:"OP" ~doc)
+
+let client_bench_arg =
+  let doc = "Benchmark name (required for bind/flow/explore)." in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~doc)
+
+let client_deadline_arg =
+  let doc = "Per-request deadline in milliseconds." in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let ping_ms_arg =
+  let doc = "Milliseconds a ping holds its worker slot." in
+  Arg.(value & opt int 0 & info [ "ping-ms" ] ~docv:"MS" ~doc)
+
+let raw_arg =
+  let doc = "Send $(docv) verbatim as the request frame instead of \
+             building one from the other options." in
+  Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"JSON" ~doc)
+
+let run_client socket tcp op bench binder alpha width vectors port_assign
+    alphas deadline_ms ping_ms raw verbose =
+  setup_logs verbose;
+  let need_bench () =
+    match bench with
+    | Some b -> b
+    | None -> failwith (op ^ " needs --bench")
+  in
+  try
+    let c =
+      match tcp with
+      | Some port -> Client.connect_tcp ~host:"127.0.0.1" ~port ()
+      | None -> Client.connect socket
+    in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let reply =
+          match raw with
+          | Some line ->
+              Client.send_raw c line;
+              Client.recv c
+          | None ->
+              let bind_params () =
+                { Protocol.bench = need_bench ();
+                  binder; alpha; width; vectors; port_assign }
+              in
+              let op =
+                match op with
+                | "ping" -> Protocol.Ping ping_ms
+                | "bind" -> Protocol.Bind (bind_params ())
+                | "flow" -> Protocol.Flow (bind_params ())
+                | "explore" ->
+                    Protocol.Explore
+                      { Protocol.default_explore_params with
+                        Protocol.ex_bench = need_bench ();
+                        ex_width = width;
+                        ex_vectors = vectors;
+                        ex_alphas =
+                          Option.value
+                            ~default:
+                              Protocol.default_explore_params.Protocol.ex_alphas
+                            alphas }
+                | "lint" ->
+                    Protocol.Lint
+                      { Protocol.lint_bench = bench;
+                        lint_binder = binder;
+                        lint_width = width }
+                | "stats" -> Protocol.Stats
+                | other -> failwith ("unknown op: " ^ other)
+              in
+              Client.request c
+                { Protocol.id = Sjson.Int 1; deadline_ms; op }
+        in
+        match reply with
+        | Ok r ->
+            print_endline (Protocol.encode_reply r);
+            (match r.Protocol.payload with
+            | Protocol.Result _ -> 0
+            | Protocol.Error _ -> 1)
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            2)
+  with
+  | Failure msg | Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      2
+  | Unix.Unix_error (err, _, _) ->
+      Format.eprintf "error: cannot reach daemon at %s: %s@."
+        (match tcp with
+        | Some port -> Printf.sprintf "127.0.0.1:%d" port
+        | None -> socket)
+        (Unix.error_message err);
+      2
+
+let client_cmd =
+  let doc = "Send one request to a running hlpowerd and print the reply \
+             frame (exit 0 on ok, 1 on an error reply, 2 on transport \
+             failure)" in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ socket_arg $ tcp_arg $ op_arg $ client_bench_arg
+      $ binder_arg $ alpha_arg $ width_arg $ vectors_arg $ port_assign_arg
+      $ alphas_arg $ client_deadline_arg $ ping_ms_arg $ raw_arg
+      $ verbose_arg)
+
 let main_cmd =
   let doc = "FPGA-targeted glitch-aware high-level binding (HLPower)" in
   Cmd.group
     (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-    [ list_cmd; bind_cmd; lint_cmd; compare_cmd; explore_cmd ]
+    [ list_cmd; bind_cmd; lint_cmd; compare_cmd; explore_cmd; serve_cmd;
+      client_cmd ]
 
 let () =
   let code = Cmd.eval' main_cmd in

@@ -56,19 +56,25 @@ type artifacts = {
 let checker : (artifacts -> unit) option ref = ref None
 let set_checker f = checker := Some f
 
-let run ?(config = default_config) ~design binding =
+let phases = [ "elaborate"; "map"; "lint"; "sim"; "power" ]
+
+let run ?(checkpoint = fun _ -> ()) ?(config = default_config) ~design binding
+    =
   (* One span per design gives the per-design flow-timing breakdown in the
      telemetry dump; the mapper and simulator record their own timers. *)
   Telemetry.span ("flow:" ^ design) @@ fun () ->
+  checkpoint "elaborate";
   let dp, elab =
     Telemetry.time "flow.elaborate" (fun () ->
         let dp = Datapath.build ~width:config.width binding in
         Datapath.validate dp;
         (dp, Elaborate.elaborate dp))
   in
+  checkpoint "map";
   let mapping =
     Mapper.map ~objective:config.objective elab.Elaborate.netlist ~k:config.k
   in
+  checkpoint "lint";
   if config.check then
     Option.iter
       (fun check ->
@@ -84,10 +90,12 @@ let run ?(config = default_config) ~design binding =
               }))
       !checker;
   let network = mapping.Mapper.lut_network in
+  checkpoint "sim";
   let sim_config =
     { Sim.vectors = config.vectors; seed = config.seed; check = config.check }
   in
   let sim = Sim.run ~config:sim_config elab ~network in
+  checkpoint "power";
   let power =
     Telemetry.time "flow.power" (fun () ->
         Power.analyze config.model ~network ~sim)

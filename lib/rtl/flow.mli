@@ -53,9 +53,27 @@ type artifacts = {
     users. *)
 val set_checker : (artifacts -> unit) -> unit
 
+(** The phase names passed to a {!run} [checkpoint], in pipeline
+    order. *)
+val phases : string list
+
 (** [run config ~design binding] executes the pipeline.
+
+    [checkpoint] (default: a no-op) is called with the phase name
+    immediately {e before} each pipeline phase ({!phases} lists them in
+    order).  It is the cancellation hook for long-running callers such
+    as the serving daemon: raising from a checkpoint aborts the run
+    between phases — no partial artifact escapes, because nothing after
+    the raise is constructed.  The callback must be cheap; it runs on
+    the hot path.
+
     @raise Failure if the functional check or a lint check fails. *)
-val run : ?config:config -> design:string -> Binding.t -> report
+val run :
+  ?checkpoint:(string -> unit) ->
+  ?config:config ->
+  design:string ->
+  Binding.t ->
+  report
 
 (** [pp_report] prints a compact human-readable report. *)
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,35 @@
+type t = { fd : Unix.file_descr; reader : Protocol.reader }
+
+let of_fd ?max_frame fd = { fd; reader = Protocol.reader_of_fd ?max_frame fd }
+
+let connect ?max_frame path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd ?max_frame fd
+
+let connect_tcp ?max_frame ~host ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ ->
+      (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd ?max_frame fd
+
+let send c req = Protocol.write_frame c.fd (Protocol.encode_request req)
+let send_raw c line = Protocol.write_frame c.fd line
+
+let recv c =
+  match Protocol.read_frame c.reader with
+  | `Eof -> Error "connection closed by the daemon"
+  | `Too_large n -> Error (Printf.sprintf "oversized reply frame (%d bytes)" n)
+  | `Frame line -> Protocol.decode_reply line
+
+let request c req =
+  send c req;
+  recv c
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

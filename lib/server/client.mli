@@ -1,0 +1,28 @@
+(** Blocking client for the [hlpowerd] protocol — used by the CLI
+    [client] subcommand, the bench load generator, and the serving
+    tests. *)
+
+type t
+
+(** [connect path] connects to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nobody is listening. *)
+val connect : ?max_frame:int -> string -> t
+
+(** [connect_tcp ~host ~port ()] connects to a TCP daemon. *)
+val connect_tcp : ?max_frame:int -> host:string -> port:int -> unit -> t
+
+(** [request c req] sends [req] and blocks for one reply.  [Error] is a
+    transport- or decode-level failure (connection closed, bad frame) —
+    protocol-level errors come back as [Ok] replies with an [Error]
+    payload.  Note replies are matched by arrival order: interleave
+    {!send}/{!recv} yourself for pipelining. *)
+val request : t -> Protocol.request -> (Protocol.reply, string) result
+
+val send : t -> Protocol.request -> unit
+
+(** [send_raw c line] writes an arbitrary frame (tests). *)
+val send_raw : t -> string -> unit
+
+val recv : t -> (Protocol.reply, string) result
+
+val close : t -> unit

@@ -1,0 +1,62 @@
+(** Minimal JSON for the wire protocol.
+
+    The tree has always emitted JSON by hand ([Hlp_util.Telemetry],
+    [Hlp_rtl.Flow], [Hlp_lint]); the serving daemon is the first thing
+    that must also {e read} it, and the environment carries no JSON
+    package, so this module completes the loop: a small recursive-descent
+    parser plus a printer, covering exactly the JSON subset the protocol
+    uses (RFC 8259 minus [\uXXXX] escapes above the Basic Multilingual
+    Plane surrogate handling — they decode to ['?']).
+
+    Two deliberate choices:
+
+    - Numbers without [.], [e] or [E] parse as [Int]; everything else as
+      [Float].  [Float] prints with [%.17g], so a double that entered the
+      protocol survives a round trip bit-exactly — the property the
+      "concurrent clients equal sequential CLI" acceptance check rests
+      on.
+    - [Raw] injects a pre-rendered JSON fragment verbatim into the
+      output.  The pipeline's own emitters ([Flow.json_of_report],
+      [Lint.json_report]) keep authority over their float formatting;
+      the parser never produces [Raw]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string  (** print-only: splice a pre-rendered fragment *)
+
+(** [parse s] parses one JSON value occupying all of [s] (surrounding
+    whitespace allowed).  [Error (pos, msg)] carries the 0-based byte
+    offset of the failure. *)
+val parse : string -> (t, int * string) result
+
+(** [to_string v] prints [v] on one line (no newlines — a printed value
+    is always a valid protocol frame body). *)
+val to_string : t -> string
+
+(** {2 Accessors} — total, returning [None]/defaults on shape
+    mismatches, so request validation can collect every problem instead
+    of dying on the first. *)
+
+(** [member key v] is the value bound to [key] if [v] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** [to_float] accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+(** [equal a b] is structural equality after normalizing [Int]/[Float]
+    (i.e. [Int 1] equals [Float 1.]).  [Raw] fragments compare by their
+    text. *)
+val equal : t -> t -> bool

@@ -1,0 +1,581 @@
+module Diagnostic = Hlp_lint.Diagnostic
+
+type bind_params = {
+  bench : string;
+  binder : string;
+  alpha : float;
+  width : int;
+  vectors : int;
+  port_assign : bool;
+}
+
+(* Defaults mirror the CLI bind command's option defaults. *)
+let default_bind_params =
+  {
+    bench = "";
+    binder = "hlpower";
+    alpha = 0.5;
+    width = 8;
+    vectors = 100;
+    port_assign = false;
+  }
+
+type explore_params = {
+  ex_bench : string;
+  ex_width : int;
+  ex_vectors : int;
+  ex_adds : int list;
+  ex_mults : int list;
+  ex_alphas : float list;
+}
+
+(* Grid defaults mirror Hlp_hls.Explore.default_config; width/vectors
+   mirror the CLI explore command. *)
+let default_explore_params =
+  {
+    ex_bench = "";
+    ex_width = 8;
+    ex_vectors = 100;
+    ex_adds = [ 1; 2; 4 ];
+    ex_mults = [ 1; 2; 4 ];
+    ex_alphas = [ 1.0; 0.5 ];
+  }
+
+type lint_params = {
+  lint_bench : string option;
+  lint_binder : string;
+  lint_width : int;
+}
+
+let default_lint_params =
+  { lint_bench = None; lint_binder = "both"; lint_width = 8 }
+
+type op =
+  | Ping of int
+  | Bind of bind_params
+  | Flow of bind_params
+  | Explore of explore_params
+  | Lint of lint_params
+  | Stats
+
+let op_name = function
+  | Ping _ -> "ping"
+  | Bind _ -> "bind"
+  | Flow _ -> "flow"
+  | Explore _ -> "explore"
+  | Lint _ -> "lint"
+  | Stats -> "stats"
+
+type request = { id : Json.t; deadline_ms : int option; op : op }
+
+type error_code =
+  | Parse_error
+  | Unknown_op
+  | Bad_request
+  | Frame_too_large
+  | Overloaded
+  | Deadline_exceeded
+  | Draining
+  | Internal
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Unknown_op -> "unknown_op"
+  | Bad_request -> "bad_request"
+  | Frame_too_large -> "frame_too_large"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "parse_error" -> Some Parse_error
+  | "unknown_op" -> Some Unknown_op
+  | "bad_request" -> Some Bad_request
+  | "frame_too_large" -> Some Frame_too_large
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "draining" -> Some Draining
+  | "internal" -> Some Internal
+  | _ -> None
+
+type payload =
+  | Result of {
+      op : string;
+      result : Json.t;
+      telemetry : (string * int) list;
+      elapsed_ms : float;
+    }
+  | Error of {
+      code : error_code;
+      message : string;
+      diagnostics : Diagnostic.t list;
+    }
+
+type reply = { reply_id : Json.t; payload : payload }
+
+let error_reply ?(diagnostics = []) ~id code fmt =
+  Printf.ksprintf
+    (fun message ->
+      { reply_id = id; payload = Error { code; message; diagnostics } })
+    fmt
+
+(* --- encoding --- *)
+
+let json_of_loc : Diagnostic.loc -> Json.t = function
+  | Op i -> Obj [ ("kind", String "op"); ("index", Int i) ]
+  | Fu i -> Obj [ ("kind", String "fu"); ("index", Int i) ]
+  | Reg i -> Obj [ ("kind", String "reg"); ("index", Int i) ]
+  | Step i -> Obj [ ("kind", String "step"); ("index", Int i) ]
+  | Node i -> Obj [ ("kind", String "node"); ("index", Int i) ]
+  | Net s -> Obj [ ("kind", String "net"); ("name", String s) ]
+  | Line i -> Obj [ ("kind", String "line"); ("index", Int i) ]
+  | Design -> Obj [ ("kind", String "design") ]
+
+let json_of_diagnostic (d : Diagnostic.t) : Json.t =
+  Obj
+    [
+      ("code", String d.code);
+      ( "severity",
+        String
+          (match d.severity with Error -> "error" | Warning -> "warning") );
+      ("loc", json_of_loc d.loc);
+      ("message", String d.message);
+    ]
+
+let json_of_bind_params p : Json.t =
+  Obj
+    [
+      ("bench", String p.bench);
+      ("binder", String p.binder);
+      ("alpha", Float p.alpha);
+      ("width", Int p.width);
+      ("vectors", Int p.vectors);
+      ("port_assign", Bool p.port_assign);
+    ]
+
+let json_of_op op : (string * Json.t) list =
+  let params : Json.t option =
+    match op with
+    | Ping ms -> Some (Obj [ ("sleep_ms", Int ms) ])
+    | Bind p | Flow p -> Some (json_of_bind_params p)
+    | Explore p ->
+        Some
+          (Obj
+             [
+               ("bench", String p.ex_bench);
+               ("width", Int p.ex_width);
+               ("vectors", Int p.ex_vectors);
+               ("adds", List (List.map (fun i -> Json.Int i) p.ex_adds));
+               ("mults", List (List.map (fun i -> Json.Int i) p.ex_mults));
+               ("alphas", List (List.map (fun a -> Json.Float a) p.ex_alphas));
+             ])
+    | Lint p ->
+        Some
+          (Obj
+             [
+               ( "bench",
+                 match p.lint_bench with None -> Null | Some b -> String b );
+               ("binder", String p.lint_binder);
+               ("width", Int p.lint_width);
+             ])
+    | Stats -> None
+  in
+  ("op", Json.String (op_name op))
+  :: (match params with None -> [] | Some p -> [ ("params", p) ])
+
+let encode_request r =
+  Json.to_string
+    (Obj
+       ((match r.id with Json.Null -> [] | id -> [ ("id", id) ])
+       @ (match r.deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Json.Int ms) ])
+       @ json_of_op r.op))
+
+let encode_reply r =
+  let fields =
+    match r.payload with
+    | Result { op; result; telemetry; elapsed_ms } ->
+        [
+          ("status", Json.String "ok");
+          ("op", Json.String op);
+          ("result", result);
+          ( "telemetry",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) telemetry) );
+          ("elapsed_ms", Json.Float elapsed_ms);
+        ]
+    | Error { code; message; diagnostics } ->
+        [
+          ("status", Json.String "error");
+          ( "error",
+            Json.Obj
+              [
+                ("code", Json.String (error_code_to_string code));
+                ("message", Json.String message);
+                ( "diagnostics",
+                  Json.List (List.map json_of_diagnostic diagnostics) );
+              ] );
+        ]
+  in
+  Json.to_string
+    (Obj
+       ((match r.reply_id with Json.Null -> [] | id -> [ ("id", id) ])
+       @ fields))
+
+(* --- decoding --- *)
+
+(* Request validation collects one S00x diagnostic per offense instead
+   of dying on the first, mirroring how the lint subsystem reports. *)
+
+let excerpt line =
+  if String.length line <= 120 then line else String.sub line 0 117 ^ "..."
+
+type decode_error = {
+  err_code : error_code;
+  err_id : Json.t;
+  err_diagnostics : Diagnostic.t list;
+}
+
+let decode_request line =
+  match Json.parse line with
+  | Error (pos, msg) ->
+      Stdlib.Error
+        {
+          err_code = Parse_error;
+          err_id = Json.Null;
+          err_diagnostics =
+            [
+              Diagnostic.error "S001" (Line 1)
+                "malformed frame (byte %d: %s): %s" pos msg (excerpt line);
+            ];
+        }
+  | Ok ((Json.Null | Json.Bool _ | Json.Int _ | Json.Float _
+        | Json.String _ | Json.List _ | Json.Raw _) as json) ->
+      Stdlib.Error
+        {
+          err_code = Parse_error;
+          err_id = Json.Null;
+          err_diagnostics =
+            [
+              Diagnostic.error "S001" (Line 1)
+                "frame is not a JSON object: %s"
+                (excerpt (Json.to_string json));
+            ];
+        }
+  | Ok (Json.Obj _ as json) -> (
+      let problems = ref [] in
+      let problem fmt =
+        Printf.ksprintf
+          (fun m ->
+            problems :=
+              Diagnostic.error "S003" Design "%s" m :: !problems)
+          fmt
+      in
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      let params =
+        Option.value ~default:(Json.Obj []) (Json.member "params" json)
+      in
+      let field name conv ~default =
+        match Json.member name params with
+        | None | Some Json.Null -> default
+        | Some v -> (
+            match conv v with
+            | Some v -> v
+            | None ->
+                problem "parameter %S has an invalid value: %s" name
+                  (Json.to_string v);
+                default)
+      in
+      let pos_int name ~default =
+        let v = field name Json.to_int ~default in
+        if v > 0 then v
+        else (
+          problem "parameter %S must be positive" name;
+          default)
+      in
+      let bind_params () =
+        let d = default_bind_params in
+        let p =
+          {
+            bench = field "bench" Json.to_string_opt ~default:d.bench;
+            binder = field "binder" Json.to_string_opt ~default:d.binder;
+            alpha = field "alpha" Json.to_float ~default:d.alpha;
+            width = pos_int "width" ~default:d.width;
+            vectors = pos_int "vectors" ~default:d.vectors;
+            port_assign = field "port_assign" Json.to_bool ~default:false;
+          }
+        in
+        if p.bench = "" then problem "parameter \"bench\" is required";
+        if not (p.binder = "hlpower" || p.binder = "lopass") then
+          problem "parameter \"binder\" must be \"hlpower\" or \"lopass\"";
+        if not (Float.is_finite p.alpha && p.alpha >= 0. && p.alpha <= 1.)
+        then problem "parameter \"alpha\" must be within [0, 1]";
+        p
+      in
+      let int_list name ~default =
+        field name
+          (fun v ->
+            Option.bind (Json.to_list v) (fun vs ->
+                let is = List.filter_map Json.to_int vs in
+                if List.length is = List.length vs && is <> [] then Some is
+                else None))
+          ~default
+      in
+      let op =
+        match Json.member "op" json with
+        | Some (Json.String "ping") ->
+            Some (Ping (max 0 (field "sleep_ms" Json.to_int ~default:0)))
+        | Some (Json.String "bind") -> Some (Bind (bind_params ()))
+        | Some (Json.String "flow") -> Some (Flow (bind_params ()))
+        | Some (Json.String "explore") ->
+            let d = default_explore_params in
+            let p =
+              {
+                ex_bench = field "bench" Json.to_string_opt ~default:"";
+                ex_width = pos_int "width" ~default:d.ex_width;
+                ex_vectors = pos_int "vectors" ~default:d.ex_vectors;
+                ex_adds = int_list "adds" ~default:d.ex_adds;
+                ex_mults = int_list "mults" ~default:d.ex_mults;
+                ex_alphas =
+                  field "alphas"
+                    (fun v ->
+                      Option.bind (Json.to_list v) (fun vs ->
+                          let fs = List.filter_map Json.to_float vs in
+                          if List.length fs = List.length vs && fs <> []
+                          then Some fs
+                          else None))
+                    ~default:d.ex_alphas;
+              }
+            in
+            if p.ex_bench = "" then problem "parameter \"bench\" is required";
+            Some (Explore p)
+        | Some (Json.String "lint") ->
+            let d = default_lint_params in
+            let p =
+              {
+                lint_bench =
+                  field "bench"
+                    (fun v -> Option.map Option.some (Json.to_string_opt v))
+                    ~default:None;
+                lint_binder =
+                  field "binder" Json.to_string_opt ~default:d.lint_binder;
+                lint_width = pos_int "width" ~default:d.lint_width;
+              }
+            in
+            if
+              not
+                (List.mem p.lint_binder [ "hlpower"; "lopass"; "both" ])
+            then
+              problem
+                "parameter \"binder\" must be \"hlpower\", \"lopass\" or \
+                 \"both\"";
+            Some (Lint p)
+        | Some (Json.String "stats") -> Some Stats
+        | Some (Json.String other) ->
+            problems :=
+              [ Diagnostic.error "S002" Design "unknown op %S" other ];
+            None
+        | Some _ | None ->
+            problems :=
+              [
+                Diagnostic.error "S002" Design
+                  "missing or non-string \"op\" field";
+              ];
+            None
+      in
+      let deadline_ms =
+        match Json.member "deadline_ms" json with
+        | None | Some Json.Null -> None
+        | Some v -> (
+            match Json.to_int v with
+            | Some ms when ms >= 0 -> Some ms
+            | _ ->
+                problem "field \"deadline_ms\" must be a non-negative integer";
+                None)
+      in
+      match (op, !problems) with
+      | Some op, [] -> Ok { id; deadline_ms; op }
+      | None, ds ->
+          Stdlib.Error
+            {
+              err_code = Unknown_op;
+              err_id = id;
+              err_diagnostics = List.rev ds;
+            }
+      | Some _, ds ->
+          Stdlib.Error
+            {
+              err_code = Bad_request;
+              err_id = id;
+              err_diagnostics = List.rev ds;
+            })
+
+let loc_of_json (v : Json.t) : Diagnostic.loc option =
+  let index () = Option.bind (Json.member "index" v) Json.to_int in
+  match Option.bind (Json.member "kind" v) Json.to_string_opt with
+  | Some "op" -> Option.map (fun i -> Diagnostic.Op i) (index ())
+  | Some "fu" -> Option.map (fun i -> Diagnostic.Fu i) (index ())
+  | Some "reg" -> Option.map (fun i -> Diagnostic.Reg i) (index ())
+  | Some "step" -> Option.map (fun i -> Diagnostic.Step i) (index ())
+  | Some "node" -> Option.map (fun i -> Diagnostic.Node i) (index ())
+  | Some "line" -> Option.map (fun i -> Diagnostic.Line i) (index ())
+  | Some "net" ->
+      Option.map
+        (fun n -> Diagnostic.Net n)
+        (Option.bind (Json.member "name" v) Json.to_string_opt)
+  | Some "design" -> Some Diagnostic.Design
+  | _ -> None
+
+let diagnostic_of_json (v : Json.t) : Diagnostic.t option =
+  let str name = Option.bind (Json.member name v) Json.to_string_opt in
+  match (str "code", str "severity", str "message") with
+  | Some code, Some sev, Some message ->
+      let severity =
+        if sev = "warning" then Diagnostic.Warning else Diagnostic.Error
+      in
+      let loc =
+        Option.value ~default:Diagnostic.Design
+          (Option.bind (Json.member "loc" v) loc_of_json)
+      in
+      Some { Diagnostic.code; severity; loc; message }
+  | _ -> None
+
+let decode_reply line =
+  match Json.parse line with
+  | Error (pos, msg) -> Stdlib.Error (Printf.sprintf "byte %d: %s" pos msg)
+  | Ok json -> (
+      let reply_id = Option.value ~default:Json.Null (Json.member "id" json) in
+      match Option.bind (Json.member "status" json) Json.to_string_opt with
+      | Some "ok" -> (
+          match
+            ( Option.bind (Json.member "op" json) Json.to_string_opt,
+              Json.member "result" json )
+          with
+          | Some op, Some result ->
+              let telemetry =
+                match Json.member "telemetry" json with
+                | Some (Json.Obj kvs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map (fun i -> (k, i)) (Json.to_int v))
+                      kvs
+                | _ -> []
+              in
+              let elapsed_ms =
+                Option.value ~default:0.
+                  (Option.bind (Json.member "elapsed_ms" json) Json.to_float)
+              in
+              Ok
+                {
+                  reply_id;
+                  payload = Result { op; result; telemetry; elapsed_ms };
+                }
+          | _ -> Stdlib.Error "ok reply missing \"op\" or \"result\"")
+      | Some "error" -> (
+          match Json.member "error" json with
+          | Some err -> (
+              let str name =
+                Option.bind (Json.member name err) Json.to_string_opt
+              in
+              match Option.bind (str "code") error_code_of_string with
+              | Some code ->
+                  let diagnostics =
+                    match Json.member "diagnostics" err with
+                    | Some (Json.List ds) ->
+                        List.filter_map diagnostic_of_json ds
+                    | _ -> []
+                  in
+                  Ok
+                    {
+                      reply_id;
+                      payload =
+                        Error
+                          {
+                            code;
+                            message = Option.value ~default:"" (str "message");
+                            diagnostics;
+                          };
+                    }
+              | None ->
+                  Stdlib.Error "error reply carries an unknown \"code\"")
+          | None -> Stdlib.Error "error reply missing \"error\" object")
+      | _ -> Stdlib.Error "reply missing \"status\"")
+
+(* --- framing --- *)
+
+let default_max_frame = 1 lsl 20
+
+type reader = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  chunk : Bytes.t;
+  mutable chunk_len : int;  (* valid bytes in [chunk] *)
+  mutable chunk_pos : int;  (* consumed bytes in [chunk] *)
+  buf : Buffer.t;  (* current partial frame, capped at [max_frame] *)
+  mutable overflow : int;  (* bytes discarded of an oversized frame *)
+}
+
+let reader_of_fd ?(max_frame = default_max_frame) fd =
+  {
+    fd;
+    max_frame;
+    chunk = Bytes.create 65536;
+    chunk_len = 0;
+    chunk_pos = 0;
+    buf = Buffer.create 512;
+    overflow = 0;
+  }
+
+let refill r =
+  r.chunk_pos <- 0;
+  r.chunk_len <-
+    (try Unix.read r.fd r.chunk 0 (Bytes.length r.chunk)
+     with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0);
+  r.chunk_len > 0
+
+let read_frame r =
+  let rec loop () =
+    if r.chunk_pos >= r.chunk_len then
+      if refill r then loop ()
+      else if r.overflow > 0 then (
+        (* oversized frame truncated by EOF *)
+        let n = r.overflow in
+        r.overflow <- 0;
+        `Too_large n)
+      else if Buffer.length r.buf > 0 then (
+        let line = Buffer.contents r.buf in
+        Buffer.clear r.buf;
+        `Frame line)
+      else `Eof
+    else
+      let c = Bytes.get r.chunk r.chunk_pos in
+      r.chunk_pos <- r.chunk_pos + 1;
+      if c = '\n' then
+        if r.overflow > 0 then (
+          let n = r.overflow + Buffer.length r.buf in
+          r.overflow <- 0;
+          Buffer.clear r.buf;
+          `Too_large n)
+        else (
+          let line = Buffer.contents r.buf in
+          Buffer.clear r.buf;
+          `Frame line)
+      else (
+        if r.overflow > 0 then r.overflow <- r.overflow + 1
+        else if Buffer.length r.buf >= r.max_frame then (
+          (* Stop buffering: from here on the frame is only counted, so
+             an arbitrarily long line costs O(max_frame) memory. *)
+          r.overflow <- 1)
+        else Buffer.add_char r.buf c;
+        loop ())
+  in
+  loop ()
+
+let write_frame fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd data !written (len - !written)
+  done

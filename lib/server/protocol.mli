@@ -1,0 +1,190 @@
+(** Wire protocol of the [hlpowerd] serving daemon.
+
+    Framing is newline-delimited JSON: one request or reply per line,
+    each line one JSON object, terminated by ['\n'].  Frames larger than
+    the reader's [max_frame] are rejected {e without} being buffered
+    (the reader discards to the next newline), so a hostile or broken
+    client cannot blow up server memory.
+
+    A request names an operation — the same operations the CLI exposes —
+    with the same parameters (and the CLI's defaults when omitted):
+
+    {v
+    {"id": 1, "op": "flow",
+     "deadline_ms": 30000,
+     "params": {"bench": "pr", "binder": "hlpower", "alpha": 0.5,
+                "width": 8, "vectors": 100, "port_assign": false}}
+    v}
+
+    A reply echoes the request [id] and carries either a result:
+
+    {v
+    {"id": 1, "status": "ok", "op": "flow", "result": {...},
+     "telemetry": {"sa_table.hits": 412, ...}, "elapsed_ms": 93.2}
+    v}
+
+    or a structured error whose [diagnostics] reuse the
+    {!Hlp_lint.Diagnostic} shape:
+
+    {v
+    {"id": 1, "status": "error",
+     "error": {"code": "bad_request", "message": "...",
+               "diagnostics": [{"code": "S003", "severity": "error",
+                                "loc": {"kind": "design"},
+                                "message": "width must be positive"}]}}
+    v}
+
+    Error codes: [parse_error] (S001 — frame is not a JSON object; the
+    diagnostic's [loc] is the byte offset and its message quotes the
+    offending line), [unknown_op] (S002), [bad_request] (S003 — bad
+    parameter, unknown benchmark/binder), [frame_too_large],
+    [overloaded] (bounded queue full — retry later), [deadline_exceeded]
+    (the request's deadline expired before or during execution),
+    [draining] (daemon is shutting down; accepted work still completes),
+    [internal]. *)
+
+module Diagnostic = Hlp_lint.Diagnostic
+
+(** Parameters of [bind] and [flow] — the CLI [bind] options. *)
+type bind_params = {
+  bench : string;
+  binder : string;  (** ["hlpower"] or ["lopass"] *)
+  alpha : float;
+  width : int;
+  vectors : int;
+  port_assign : bool;
+}
+
+val default_bind_params : bind_params
+
+(** Parameters of [explore] — the CLI [explore] options plus the sweep
+    grid. *)
+type explore_params = {
+  ex_bench : string;
+  ex_width : int;
+  ex_vectors : int;
+  ex_adds : int list;
+  ex_mults : int list;
+  ex_alphas : float list;
+}
+
+val default_explore_params : explore_params
+
+(** Parameters of [lint] — the CLI [lint] options. *)
+type lint_params = {
+  lint_bench : string option;  (** [None] = every benchmark and kernel *)
+  lint_binder : string;  (** ["hlpower"], ["lopass"] or ["both"] *)
+  lint_width : int;
+}
+
+val default_lint_params : lint_params
+
+type op =
+  | Ping of int  (** milliseconds to hold the worker slot (testing/health) *)
+  | Bind of bind_params  (** binder only: binding summary + mux stats *)
+  | Flow of bind_params  (** full pipeline: the {!Hlp_rtl.Flow.report} *)
+  | Explore of explore_params
+  | Lint of lint_params
+  | Stats
+
+(** Wire name of an operation (["ping"], ["bind"], ...). *)
+val op_name : op -> string
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the reply; [Null] when absent *)
+  deadline_ms : int option;  (** per-request deadline, from receipt *)
+  op : op;
+}
+
+type error_code =
+  | Parse_error
+  | Unknown_op
+  | Bad_request
+  | Frame_too_large
+  | Overloaded
+  | Deadline_exceeded
+  | Draining
+  | Internal
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type payload =
+  | Result of {
+      op : string;  (** the request's operation name *)
+      result : Json.t;
+      telemetry : (string * int) list;
+          (** counters this request moved ({!Hlp_util.Telemetry.with_scope}) *)
+      elapsed_ms : float;
+    }
+  | Error of {
+      code : error_code;
+      message : string;
+      diagnostics : Diagnostic.t list;
+    }
+
+type reply = { reply_id : Json.t; payload : payload }
+
+(** [error_reply ?diagnostics ~id code fmt ...] builds an error reply
+    with a formatted message. *)
+val error_reply :
+  ?diagnostics:Diagnostic.t list ->
+  id:Json.t ->
+  error_code ->
+  ('a, unit, string, reply) format4 ->
+  'a
+
+(** {2 Encoding / decoding} — strings never include the frame
+    terminator; {!write_frame} appends it. *)
+
+val encode_request : request -> string
+
+(** A rejected request: the code, the echoed [id] (recovered from the
+    frame when it parsed at all, [Null] otherwise), and one diagnostic
+    per offense. *)
+type decode_error = {
+  err_code : error_code;
+  err_id : Json.t;
+  err_diagnostics : Diagnostic.t list;
+}
+
+(** [decode_request line] validates [line] into a request.  All
+    problems are collected: the error side carries one diagnostic per
+    offense (S001 malformed JSON, S002 unknown/missing op, S003 bad
+    parameter), never just the first. *)
+val decode_request : string -> (request, decode_error) result
+
+val encode_reply : reply -> string
+
+(** [decode_reply line] is the client-side inverse of {!encode_reply}.
+    Round-trip law: [decode_reply (encode_reply r) = Ok r] for every
+    reply whose [result] contains no [Json.Raw] fragments (raw
+    fragments come back as parsed values). *)
+val decode_reply : string -> (reply, string) result
+
+(** [json_of_diagnostic d] is {!Diagnostic.json_of} as a {!Json.t}. *)
+val json_of_diagnostic : Diagnostic.t -> Json.t
+
+(** {2 Framing} *)
+
+(** Default frame-size cap: 1 MiB. *)
+val default_max_frame : int
+
+(** Buffered frame reader over a file descriptor. *)
+type reader
+
+val reader_of_fd : ?max_frame:int -> Unix.file_descr -> reader
+
+(** [read_frame r] blocks for the next frame.
+    [`Frame line] is one complete line without its ['\n'].
+    [`Too_large n] reports a frame of [n] bytes (> [max_frame]) that was
+    discarded up to its terminating newline — the connection remains
+    usable and the next {!read_frame} reads the following frame.
+    [`Eof] means the peer closed with no partial frame outstanding (a
+    partial unterminated frame at EOF is delivered as [`Frame]). *)
+val read_frame : reader -> [ `Frame of string | `Too_large of int | `Eof ]
+
+(** [write_frame fd line] writes [line] plus the ['\n'] terminator,
+    retrying short writes until complete.  @raise Unix.Unix_error on a
+    broken connection. *)
+val write_frame : Unix.file_descr -> string -> unit

@@ -1,0 +1,316 @@
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Reg_binding = Hlp_core.Reg_binding
+module Binding = Hlp_core.Binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Lopass = Hlp_core.Lopass
+module Flow = Hlp_rtl.Flow
+module Explore = Hlp_hls.Explore
+module Diagnostic = Hlp_lint.Diagnostic
+
+type t = {
+  sa_cache_dir : string option;
+  mu : Mutex.t;  (* guards the registry map, not the tables themselves *)
+  tables : (int * int, Sa_table.t) Hashtbl.t;
+}
+
+let create ?sa_cache_dir () =
+  { sa_cache_dir; mu = Mutex.create (); tables = Hashtbl.create 4 }
+
+(* One warm table per (width, k), created on first use and shared by
+   every subsequent request: the first bind at a given width pays the
+   fill (or loads it from the disk cache), everything after is served
+   from memory.  Sa_table is internally mutex-guarded, so handing the
+   same table to concurrent workers is safe. *)
+let sa_table t ~width ~k =
+  Mutex.lock t.mu;
+  let table =
+    match Hashtbl.find_opt t.tables (width, k) with
+    | Some table -> table
+    | None ->
+        let table =
+          match t.sa_cache_dir with
+          | Some dir -> Sa_table.create_persistent ~width ~k ~dir ()
+          | None -> Sa_table.create_default ~width ~k ()
+        in
+        Hashtbl.replace t.tables (width, k) table;
+        table
+  in
+  Mutex.unlock t.mu;
+  table
+
+let all_tables t =
+  Mutex.lock t.mu;
+  let l = Hashtbl.fold (fun _ table acc -> table :: acc) t.tables [] in
+  Mutex.unlock t.mu;
+  l
+
+let persist t = List.iter Sa_table.persist (all_tables t)
+
+let sa_stats_json t : Json.t =
+  Json.List
+    (List.map
+       (fun table ->
+         Json.Obj
+           [
+             ("width", Json.Int (Sa_table.width table));
+             ("k", Json.Int (Sa_table.k table));
+             ("entries", Json.Int (List.length (Sa_table.entries table)));
+             ("hits", Json.Int (Sa_table.hits table));
+             ("misses", Json.Int (Sa_table.misses table));
+             ("disk_hits", Json.Int (Sa_table.disk_hits table));
+             ("disk_entries", Json.Int (Sa_table.disk_entries table));
+             ( "cache_file",
+               match Sa_table.cache_file table with
+               | Some p -> Json.String p
+               | None -> Json.Null );
+           ])
+       (List.sort
+          (fun a b ->
+            compare (Sa_table.width a, Sa_table.k a)
+              (Sa_table.width b, Sa_table.k b))
+          (all_tables t)))
+
+(* --- shared benchmark preparation (the CLI's [prepare]) --- *)
+
+let prepare bench =
+  let p = Benchmarks.find bench in
+  let cdfg = Benchmarks.generate p in
+  let resources = Benchmarks.resources p in
+  let schedule = Schedule.list_schedule cdfg ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  (p, schedule, regs)
+
+let unknown_bench bench =
+  [
+    Diagnostic.error "S004" Design
+      "unknown benchmark %S (expected one of %s)" bench
+      (String.concat ", "
+         (List.map
+            (fun p -> p.Benchmarks.bench_name)
+            Benchmarks.all));
+  ]
+
+let bind_binding t ~checkpoint (p : Protocol.bind_params) =
+  let profile, schedule, regs = prepare p.bench in
+  checkpoint "bind";
+  match p.binder with
+  | "lopass" ->
+      let b =
+        Lopass.bind ~regs ~resources:(Benchmarks.resources profile) schedule
+      in
+      (schedule, regs, b, None)
+  | _ ->
+      let sa_table = sa_table t ~width:p.width ~k:4 in
+      let params = Hlpower.calibrate ~alpha:p.alpha sa_table in
+      let r =
+        Hlpower.bind ~params ~sa_table ~regs
+          ~resources:(fun cls -> max 1 (Schedule.max_density schedule cls))
+          schedule
+      in
+      (schedule, regs, r.Hlpower.binding, Some r)
+
+let apply_port_assign (p : Protocol.bind_params) binding =
+  if p.port_assign then Hlp_core.Port_assign.optimize binding else binding
+
+let mux_stats_json (s : Binding.mux_stats) : Json.t =
+  Json.Obj
+    [
+      ("largest_mux", Json.Int s.largest_mux);
+      ("mux_length", Json.Int s.mux_length);
+      ("mux_count", Json.Int s.mux_count);
+      ("fu_mux_diff_mean", Json.Float s.fu_mux_diff_mean);
+      ("fu_mux_diff_var", Json.Float s.fu_mux_diff_var);
+      ("num_fu", Json.Int s.num_fu);
+    ]
+
+let handle_bind t ~checkpoint (p : Protocol.bind_params) =
+  let schedule, regs, binding, hlp = bind_binding t ~checkpoint p in
+  let binding = apply_port_assign p binding in
+  Binding.validate binding;
+  let stats = Binding.mux_stats binding in
+  Json.Obj
+    ([
+       ("design", Json.String (p.bench ^ "-" ^ p.binder));
+       ("csteps", Json.Int schedule.Schedule.num_csteps);
+       ("regs", Json.Int (Reg_binding.num_regs regs));
+       ( "add_fus",
+         Json.Int (Binding.num_fus binding Cdfg.Add_sub) );
+       ( "mult_fus",
+         Json.Int (Binding.num_fus binding Cdfg.Multiplier) );
+       ("mux_stats", mux_stats_json stats);
+     ]
+    @
+    match hlp with
+    | None -> []
+    | Some r ->
+        [
+          ("iterations", Json.Int r.Hlpower.iterations);
+          ("promoted", Json.Int r.Hlpower.promoted);
+        ])
+
+let handle_flow t ~checkpoint (p : Protocol.bind_params) =
+  let _, _, binding, _ = bind_binding t ~checkpoint p in
+  let binding = apply_port_assign p binding in
+  Binding.validate binding;
+  let config =
+    { Flow.default_config with Flow.width = p.width; vectors = p.vectors }
+  in
+  let report =
+    Flow.run ~checkpoint ~config ~design:(p.bench ^ "-" ^ p.binder) binding
+  in
+  (* Raw keeps the report byte-identical to the CLI's HLP_BENCH_JSON
+     rendering — the "concurrent daemon equals sequential CLI"
+     acceptance check literally compares these strings. *)
+  Json.Raw (Flow.json_of_report report)
+
+let handle_explore t ~checkpoint (p : Protocol.explore_params) =
+  checkpoint "explore";
+  let profile = Benchmarks.find p.ex_bench in
+  let cdfg = Benchmarks.generate profile in
+  let config =
+    {
+      Explore.width = p.ex_width;
+      vectors = p.ex_vectors;
+      add_range = p.ex_adds;
+      mult_range = p.ex_mults;
+      alphas = p.ex_alphas;
+      sa_cache_dir = t.sa_cache_dir;
+    }
+  in
+  let points = Explore.sweep ~config cdfg in
+  let front = Explore.pareto points in
+  let point_json (pt : Explore.point) =
+    Json.Obj
+      [
+        ("add_units", Json.Int pt.add_units);
+        ("mult_units", Json.Int pt.mult_units);
+        ("alpha", Json.Float pt.alpha);
+        ("csteps", Json.Int pt.csteps);
+        ("latency_ns", Json.Float pt.latency_ns);
+        ("clock_ns", Json.Float pt.clock_ns);
+        ("regs", Json.Int pt.regs);
+        ("luts", Json.Int pt.luts);
+        ("power_mw", Json.Float pt.power_mw);
+        ("toggle_mhz", Json.Float pt.toggle_mhz);
+        ("pareto", Json.Bool (List.memq pt front));
+      ]
+  in
+  Json.Obj
+    [
+      ("bench", Json.String p.ex_bench);
+      ("points", Json.List (List.map point_json points));
+      ("pareto_size", Json.Int (List.length front));
+    ]
+
+let handle_lint t ~checkpoint (p : Protocol.lint_params) =
+  checkpoint "lint";
+  let binders =
+    match p.lint_binder with
+    | "both" -> [ "hlpower"; "lopass" ]
+    | b -> [ b ]
+  in
+  let targets =
+    match p.lint_bench with
+    | Some b ->
+        let _, schedule, regs = prepare b in
+        [ (b, schedule, regs) ]
+    | None ->
+        List.map
+          (fun (profile : Benchmarks.profile) ->
+            let name = profile.Benchmarks.bench_name in
+            let _, schedule, regs = prepare name in
+            (name, schedule, regs))
+          Benchmarks.all
+  in
+  let config = { Flow.default_config with Flow.width = p.lint_width } in
+  let results =
+    List.concat_map
+      (fun (name, schedule, regs) ->
+        let min_res cls = max 1 (Schedule.max_density schedule cls) in
+        List.map
+          (fun binder ->
+            checkpoint "lint";
+            let design = name ^ "-" ^ binder in
+            let binding =
+              match binder with
+              | "lopass" -> Lopass.bind ~regs ~resources:min_res schedule
+              | _ ->
+                  let sa_table = sa_table t ~width:p.lint_width ~k:4 in
+                  let params = Hlpower.calibrate ~alpha:0.5 sa_table in
+                  (Hlpower.bind ~params ~sa_table ~regs ~resources:min_res
+                     schedule)
+                    .Hlpower.binding
+            in
+            (design, Hlp_lint.Lint.run_all ~config ~design binding))
+          binders)
+      targets
+  in
+  let errors =
+    List.fold_left
+      (fun n (_, ds) -> n + List.length (Diagnostic.errors ds))
+      0 results
+  in
+  (* Lint.json_report pretty-prints across lines; a raw splice of it
+     would smuggle newlines into the newline-delimited frame and
+     truncate the reply mid-object. *)
+  let report_one_line =
+    String.map
+      (fun c -> if c = '\n' then ' ' else c)
+      (Hlp_lint.Lint.json_report results)
+  in
+  Json.Obj
+    [
+      ("designs", Json.Int (List.length results));
+      ("errors", Json.Int errors);
+      ("report", Json.Raw report_one_line);
+    ]
+
+let handle_ping ~checkpoint ms =
+  (* Sleep in short slices with a checkpoint between each, so a ping
+     with a deadline exercises mid-job cancellation deterministically —
+     the serving tests and the smoke job rely on this. *)
+  let slice = 0.01 in
+  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let rec nap () =
+    checkpoint "ping";
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining > 0. then (
+      Unix.sleepf (Float.min slice remaining);
+      nap ())
+  in
+  nap ();
+  Json.Obj [ ("pong", Json.Bool true); ("slept_ms", Json.Int ms) ]
+
+let handle t ~checkpoint (op : Protocol.op) =
+  let bench_of = function
+    | Protocol.Bind p | Protocol.Flow p -> Some p.bench
+    | Protocol.Explore p -> Some p.ex_bench
+    | Protocol.Lint { lint_bench; _ } -> lint_bench
+    | Protocol.Ping _ | Protocol.Stats -> None
+  in
+  match
+    match op with
+    | Protocol.Ping ms -> Ok (handle_ping ~checkpoint ms)
+    | Protocol.Bind p -> Ok (handle_bind t ~checkpoint p)
+    | Protocol.Flow p -> Ok (handle_flow t ~checkpoint p)
+    | Protocol.Explore p -> Ok (handle_explore t ~checkpoint p)
+    | Protocol.Lint p -> Ok (handle_lint t ~checkpoint p)
+    | Protocol.Stats ->
+        Error
+          [
+            Diagnostic.error "S006" Design
+              "stats is served by the daemon, not the router";
+          ]
+  with
+  | result -> result
+  | exception Not_found ->
+      Error
+        (unknown_bench (Option.value ~default:"?" (bench_of op)))
+  | exception (Failure msg | Invalid_argument msg) ->
+      (* Binder/pipeline failures on valid-shaped input (e.g. an
+         infeasible allocation) are client errors, not daemon bugs. *)
+      Error [ Diagnostic.error "S005" Design "%s" msg ]

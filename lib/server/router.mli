@@ -1,0 +1,42 @@
+(** Request execution for the serving daemon.
+
+    A router owns the daemon's {e warm state}: a registry of
+    {!Hlp_core.Sa_table} instances keyed by [(width, k)], shared by
+    every request (the table itself is mutex-guarded, so concurrent
+    binds on the same width hit the same warm entries — the whole point
+    of serving instead of re-spawning the CLI).  When the router is
+    given a cache directory, each table is persistent in it and is
+    flushed on {!persist} (the daemon calls that during drain).
+
+    {!handle} executes one already-decoded operation and either returns
+    the op-specific result JSON or a list of {!Hlp_lint.Diagnostic}
+    shaped problems (S004 unknown benchmark, S005 binder failure, ...).
+    It never raises for predictable bad input; exceptions escaping
+    [handle] are bugs (the server maps them to [internal]).  The
+    [checkpoint] callback is forwarded to {!Hlp_rtl.Flow.run} and called
+    between the router's own stages, so a deadline can cancel a request
+    at every phase boundary. *)
+
+type t
+
+(** [create ?sa_cache_dir ()] — [sa_cache_dir] overrides the
+    [HLP_SA_CACHE] environment variable for the daemon's tables. *)
+val create : ?sa_cache_dir:string -> unit -> t
+
+(** [handle t ~checkpoint op] runs one operation to completion on the
+    calling domain.  [Stats] is {e not} handled here (the server owns
+    the scheduler and uptime) — passing it returns an error
+    diagnostic. *)
+val handle :
+  t ->
+  checkpoint:(string -> unit) ->
+  Protocol.op ->
+  (Json.t, Protocol.Diagnostic.t list) result
+
+(** [sa_stats_json t] describes every warm table: width, k, entries,
+    hits, misses, disk hits. *)
+val sa_stats_json : t -> Json.t
+
+(** [persist t] flushes every persistent table to disk (atomic temp +
+    rename), as on process exit. *)
+val persist : t -> unit

@@ -1,0 +1,124 @@
+module Telemetry = Hlp_util.Telemetry
+
+type stats = {
+  workers : int;
+  capacity : int;
+  queued : int;
+  running : int;
+  accepted : int;
+  completed : int;
+  rejected : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;  (* queue gained an item, or draining began *)
+  idle : Condition.t;  (* a job finished, or the queue emptied *)
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  workers : int;
+  mutable draining : bool;
+  mutable running : int;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable domains : unit Domain.t list;
+  mutable drained : bool;
+}
+
+let rec worker t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.queue && not t.draining do
+    Condition.wait t.nonempty t.mu
+  done;
+  if Queue.is_empty t.queue then (
+    (* draining and nothing left: this worker is done *)
+    Mutex.unlock t.mu;
+    ())
+  else begin
+    let job = Queue.pop t.queue in
+    t.running <- t.running + 1;
+    Mutex.unlock t.mu;
+    (try job ()
+     with e ->
+       (* The job owns its reply; a raise here means it failed before
+          even reporting.  Contain it — one bad request must not take a
+          worker down. *)
+       Telemetry.count "scheduler.job_errors" 1;
+       Logs.err (fun m ->
+           m "scheduler: job raised %s" (Printexc.to_string e)));
+    Mutex.lock t.mu;
+    t.running <- t.running - 1;
+    t.completed <- t.completed + 1;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.mu;
+    worker t
+  end
+
+let create ?workers ?(capacity = 64) () =
+  let workers =
+    max 1 (match workers with Some w -> w | None -> Hlp_util.Pool.jobs ())
+  in
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      capacity = max 1 capacity;
+      workers;
+      draining = false;
+      running = 0;
+      accepted = 0;
+      completed = 0;
+      rejected = 0;
+      domains = [];
+      drained = false;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.mu;
+  let verdict =
+    if t.draining then `Draining
+    else if Queue.length t.queue >= t.capacity then (
+      t.rejected <- t.rejected + 1;
+      `Overloaded)
+    else (
+      Queue.push job t.queue;
+      t.accepted <- t.accepted + 1;
+      Condition.signal t.nonempty;
+      `Accepted)
+  in
+  Mutex.unlock t.mu;
+  verdict
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      workers = t.workers;
+      capacity = t.capacity;
+      queued = Queue.length t.queue;
+      running = t.running;
+      accepted = t.accepted;
+      completed = t.completed;
+      rejected = t.rejected;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let drain t =
+  Mutex.lock t.mu;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  while not (Queue.is_empty t.queue) || t.running > 0 do
+    Condition.wait t.idle t.mu
+  done;
+  let to_join = if t.drained then [] else t.domains in
+  t.drained <- true;
+  Mutex.unlock t.mu;
+  List.iter Domain.join to_join

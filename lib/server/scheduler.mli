@@ -1,0 +1,45 @@
+(** Bounded work queue with a fixed pool of worker domains.
+
+    The daemon's admission control lives here.  Jobs are accepted into a
+    queue of bounded [capacity]; when the queue is full {!submit} says
+    [`Overloaded] immediately instead of blocking — the caller turns
+    that into the protocol's [overloaded] reply, which is the explicit
+    backpressure signal clients retry on.  Once draining has begun,
+    {!submit} says [`Draining]: nothing new is admitted, but everything
+    admitted before is still executed — that is the "zero dropped
+    replies" drain guarantee, because a job's reply is written by the
+    job itself.
+
+    Workers are OCaml domains spawned at {!create} (the compute-bound
+    pipeline wants parallelism, not just concurrency); the default
+    worker count is {!Hlp_util.Pool.jobs}, so [HLP_JOBS] governs the
+    daemon exactly as it governs the batch tools.  A job that raises is
+    contained: the exception is logged to the [scheduler.job_errors]
+    telemetry counter and the worker moves on. *)
+
+type t
+
+type stats = {
+  workers : int;
+  capacity : int;
+  queued : int;  (** jobs waiting, right now *)
+  running : int;  (** jobs executing, right now *)
+  accepted : int;  (** total jobs ever admitted *)
+  completed : int;  (** total jobs finished (including ones that raised) *)
+  rejected : int;  (** total [`Overloaded] rejections *)
+}
+
+(** [create ~workers ~capacity ()] spawns the worker domains
+    immediately.  Defaults: [workers = Hlp_util.Pool.jobs ()],
+    [capacity = 64]; both are clamped to [>= 1]. *)
+val create : ?workers:int -> ?capacity:int -> unit -> t
+
+(** [submit t job] never blocks. *)
+val submit : t -> (unit -> unit) -> [ `Accepted | `Overloaded | `Draining ]
+
+val stats : t -> stats
+
+(** [drain t] stops admission, waits until every admitted job has
+    completed, and joins the worker domains.  Idempotent; subsequent
+    {!submit}s keep returning [`Draining]. *)
+val drain : t -> unit

@@ -1,0 +1,331 @@
+module Telemetry = Hlp_util.Telemetry
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  workers : int;
+  queue_capacity : int;
+  default_deadline_ms : int option;
+  max_frame : int;
+  sa_cache_dir : string option;
+}
+
+let default_config =
+  {
+    socket_path = "/tmp/hlpowerd.sock";
+    tcp_port = None;
+    workers = Hlp_util.Pool.jobs ();
+    queue_capacity = 64;
+    default_deadline_ms = None;
+    max_frame = Protocol.default_max_frame;
+    sa_cache_dir = None;
+  }
+
+(* Raised by the deadline checkpoint between pipeline phases. *)
+exception Expired
+
+type t = {
+  cfg : config;
+  router : Router.t;
+  scheduler : Scheduler.t;
+  listeners : Unix.file_descr list;
+  wake_r : Unix.file_descr;  (* self-pipe: signal handler -> accept loop *)
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  started_at : float;
+  conn_mu : Mutex.t;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+}
+
+let config t = t.cfg
+
+let listen_unix path =
+  (* A stale socket file from a dead daemon would make bind fail; only
+     remove it when nothing is accepting on it. *)
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let alive =
+        try
+          Unix.connect probe (Unix.ADDR_UNIX path);
+          true
+        with Unix.Unix_error _ -> false
+      in
+      Unix.close probe;
+      if alive then
+        raise
+          (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+      else Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let create ?(config = default_config) () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listeners =
+    listen_unix config.socket_path
+    ::
+    (match config.tcp_port with
+    | Some port -> [ listen_tcp port ]
+    | None -> [])
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  {
+    cfg = config;
+    router = Router.create ?sa_cache_dir:config.sa_cache_dir ();
+    scheduler =
+      Scheduler.create ~workers:config.workers
+        ~capacity:config.queue_capacity ();
+    listeners;
+    wake_r;
+    wake_w;
+    stop = Atomic.make false;
+    started_at = Unix.gettimeofday ();
+    conn_mu = Mutex.create ();
+    conns = [];
+  }
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then
+    (* Wake the accept loop.  A single byte suffices; EAGAIN/EPIPE can
+       only mean shutdown already raced ahead of us. *)
+    try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  let handle _ = shutdown t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+
+let stats_json t : Json.t =
+  let s = Scheduler.stats t.scheduler in
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("draining", Json.Bool (Atomic.get t.stop));
+      ( "scheduler",
+        Json.Obj
+          [
+            ("workers", Json.Int s.Scheduler.workers);
+            ("capacity", Json.Int s.Scheduler.capacity);
+            ("queued", Json.Int s.Scheduler.queued);
+            ("running", Json.Int s.Scheduler.running);
+            ("accepted", Json.Int s.Scheduler.accepted);
+            ("completed", Json.Int s.Scheduler.completed);
+            ("rejected", Json.Int s.Scheduler.rejected);
+          ] );
+      ("sa_tables", Router.sa_stats_json t.router);
+      ( "telemetry",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters ()))
+      );
+    ]
+
+(* --- per-connection handling --- *)
+
+(* Replies from concurrently completing jobs interleave on one socket;
+   the write mutex keeps each frame atomic.  Write failures mean the
+   client left — the work's result is simply dropped, which is the only
+   "dropped reply" the drain guarantee permits (there is no one left to
+   read it). *)
+type conn = { fd : Unix.file_descr; wmu : Mutex.t }
+
+let send conn reply =
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      try Protocol.write_frame conn.fd (Protocol.encode_reply reply)
+      with Unix.Unix_error _ | Sys_error _ ->
+        Telemetry.count "server.replies_unwritable" 1)
+
+let now () = Unix.gettimeofday ()
+
+(* Execute one request on a worker domain: scoped telemetry, deadline
+   checkpoints, structured failure containment. *)
+let run_request t conn (req : Protocol.request) ~deadline =
+  let checkpoint _phase =
+    match deadline with
+    | Some d when now () > d -> raise Expired
+    | _ -> ()
+  in
+  let t0 = now () in
+  match
+    Telemetry.with_scope (fun () ->
+        checkpoint "start";
+        Router.handle t.router ~checkpoint req.Protocol.op)
+  with
+  | Ok result, telemetry ->
+      Telemetry.count "server.requests_ok" 1;
+      send conn
+        {
+          Protocol.reply_id = req.Protocol.id;
+          payload =
+            Protocol.Result
+              {
+                op = Protocol.op_name req.Protocol.op;
+                result;
+                telemetry;
+                elapsed_ms = (now () -. t0) *. 1000.;
+              };
+        }
+  | Error diagnostics, _ ->
+      Telemetry.count "server.requests_rejected" 1;
+      send conn
+        (Protocol.error_reply ~diagnostics ~id:req.Protocol.id
+           Protocol.Bad_request "request failed validation or execution")
+  | exception Expired ->
+      Telemetry.count "server.requests_expired" 1;
+      send conn
+        (Protocol.error_reply ~id:req.Protocol.id Protocol.Deadline_exceeded
+           "deadline expired after %.0f ms" ((now () -. t0) *. 1000.))
+  | exception e ->
+      Telemetry.count "server.requests_failed" 1;
+      send conn
+        (Protocol.error_reply ~id:req.Protocol.id Protocol.Internal "%s"
+           (Printexc.to_string e))
+
+let dispatch t conn (req : Protocol.request) =
+  match req.Protocol.op with
+  | Protocol.Stats ->
+      (* Served inline on the connection thread: stats must answer even
+         when every worker is busy — that is what makes it a health
+         probe. *)
+      send conn
+        {
+          Protocol.reply_id = req.Protocol.id;
+          payload =
+            Protocol.Result
+              {
+                op = "stats";
+                result = stats_json t;
+                telemetry = [];
+                elapsed_ms = 0.;
+              };
+        }
+  | _ -> (
+      let deadline =
+        match
+          ( req.Protocol.deadline_ms,
+            t.cfg.default_deadline_ms )
+        with
+        | Some ms, _ | None, Some ms ->
+            Some (now () +. (float_of_int ms /. 1000.))
+        | None, None -> None
+      in
+      match Scheduler.submit t.scheduler (fun () -> run_request t conn req ~deadline) with
+      | `Accepted -> ()
+      | `Overloaded ->
+          Telemetry.count "server.requests_overloaded" 1;
+          send conn
+            (Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
+               "queue full (%d waiting); retry later"
+               t.cfg.queue_capacity)
+      | `Draining ->
+          send conn
+            (Protocol.error_reply ~id:req.Protocol.id Protocol.Draining
+               "daemon is draining; connect again after restart"))
+
+let serve_conn t fd =
+  let conn = { fd; wmu = Mutex.create () } in
+  let reader = Protocol.reader_of_fd ~max_frame:t.cfg.max_frame fd in
+  let rec loop () =
+    match Protocol.read_frame reader with
+    | `Eof -> ()
+    | `Too_large n ->
+        Telemetry.count "server.frames_too_large" 1;
+        send conn
+          (Protocol.error_reply ~id:Json.Null Protocol.Frame_too_large
+             "frame of %d bytes exceeds the %d-byte limit" n
+             t.cfg.max_frame);
+        loop ()
+    | `Frame line ->
+        Telemetry.count "server.frames" 1;
+        (match Protocol.decode_request line with
+        | Ok req -> dispatch t conn req
+        | Error { Protocol.err_code; err_id; err_diagnostics } ->
+            Telemetry.count "server.frames_invalid" 1;
+            send conn
+              (Protocol.error_reply ~diagnostics:err_diagnostics ~id:err_id
+                 err_code "invalid request frame"));
+        loop ()
+  in
+  (try loop ()
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select (t.wake_r :: t.listeners) [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+          if List.mem t.wake_r readable || Atomic.get t.stop then ()
+          else begin
+            List.iter
+              (fun lfd ->
+                if List.mem lfd readable then
+                  match Unix.accept lfd with
+                  | exception Unix.Unix_error _ -> ()
+                  | fd, _ ->
+                      Telemetry.count "server.connections" 1;
+                      let th = Thread.create (fun () -> serve_conn t fd) () in
+                      Mutex.lock t.conn_mu;
+                      t.conns <- (fd, th) :: t.conns;
+                      Mutex.unlock t.conn_mu)
+              t.listeners;
+            loop ()
+          end
+  in
+  loop ()
+
+let run t =
+  Logs.info (fun m ->
+      m "hlpowerd: listening on %s%s (%d workers, queue %d)"
+        t.cfg.socket_path
+        (match t.cfg.tcp_port with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "")
+        t.cfg.workers t.cfg.queue_capacity);
+  accept_loop t;
+  Logs.info (fun m -> m "hlpowerd: draining");
+  (* 1. Stop accepting new connections (new requests on existing
+        connections get [draining] replies from the scheduler). *)
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  (* 2. Finish every admitted request; each writes its own reply before
+        the scheduler counts it complete, so after [drain] no reply is
+        outstanding. *)
+  Scheduler.drain t.scheduler;
+  (* 3. Release the connections: shutdown unblocks handler threads
+        stuck in read, then join them. *)
+  Mutex.lock t.conn_mu;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conn_mu;
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  (* 4. Flush warm state and diagnostics. *)
+  Router.persist t.router;
+  Telemetry.write_if_requested ();
+  (try
+     Unix.close t.wake_r;
+     Unix.close t.wake_w
+   with Unix.Unix_error _ -> ());
+  Logs.info (fun m -> m "hlpowerd: drained, exiting")

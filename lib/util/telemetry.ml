@@ -1,4 +1,6 @@
-type counter = int Atomic.t
+(* The name rides along with the atomic so a bump can be mirrored into
+   the active per-request scope without any registry lookup. *)
+type counter = { c_name : string; c_val : int Atomic.t }
 
 (* One mutex guards the registries and the timer/span stores.  Counter
    bumps themselves are lock-free; the lock is only taken to create a
@@ -21,14 +23,48 @@ let counter name =
       match Hashtbl.find_opt counters_tbl name with
       | Some c -> c
       | None ->
-          let c = Atomic.make 0 in
+          let c = { c_name = name; c_val = Atomic.make 0 } in
           Hashtbl.replace counters_tbl name c;
           c)
 
-let add c n = ignore (Atomic.fetch_and_add c n)
+(* Per-request scopes.  A scope is a domain-local table of deltas: while
+   one is active in the current domain every [add] lands both in the
+   process-wide counter and in the scope, so a server worker running one
+   request end-to-end can report exactly the counters that request moved
+   without disturbing (or re-deriving them from) the global totals.
+   Scopes never cross domains — work a request hands to other domains
+   (e.g. an explore sweep's grid cells) is only visible in the
+   process-wide counters. *)
+type scope = (string, int ref) Hashtbl.t
+
+let scope_key : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let add c n =
+  ignore (Atomic.fetch_and_add c.c_val n);
+  match !(Domain.DLS.get scope_key) with
+  | None -> ()
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl c.c_name with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.replace tbl c.c_name (ref n))
+
 let incr c = add c 1
 let count name n = add (counter name) n
-let value = Atomic.get
+let value c = Atomic.get c.c_val
+
+let with_scope f =
+  let cell = Domain.DLS.get scope_key in
+  let saved = !cell in
+  let tbl : scope = Hashtbl.create 16 in
+  cell := Some tbl;
+  let restore () = cell := saved in
+  let result = try f () with e -> restore (); raise e in
+  restore ();
+  let deltas =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+  in
+  (result, deltas)
 
 let record_timer name dt =
   locked (fun () ->
@@ -59,7 +95,7 @@ let span name f =
 
 let counters () =
   locked (fun () ->
-      Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) counters_tbl [])
+      Hashtbl.fold (fun k c acc -> (k, Atomic.get c.c_val) :: acc) counters_tbl [])
   |> List.sort compare
 
 let timers () =

@@ -42,6 +42,18 @@ val time : string -> (unit -> 'a) -> 'a
     start time and duration, for per-design / per-phase breakdowns. *)
 val span : string -> (unit -> 'a) -> 'a
 
+(** [with_scope f] runs [f ()] with a per-request counter scope active
+    in the calling domain: every counter bump made by this domain while
+    [f] runs is recorded both process-wide (as always) and into the
+    scope.  Returns [f]'s result together with the scope's deltas,
+    sorted by name — exactly the counters this request moved, which is
+    what the serving daemon reports per reply.  Scopes nest (the inner
+    scope shadows the outer for its duration) and never cross domains:
+    work handed to other domains (e.g. an explore sweep) contributes
+    only to the process-wide totals.  If [f] raises, the scope is
+    discarded and the exception propagates. *)
+val with_scope : (unit -> 'a) -> 'a * (string * int) list
+
 (** Snapshots, sorted by name ([spans] in record order). *)
 val counters : unit -> (string * int) list
 

@@ -28,4 +28,6 @@ let () =
       ("lint_netlist", Test_lint_netlist.suite);
       ("lint_mapped", Test_lint_mapped.suite);
       ("lint_flow", Test_lint_flow.suite);
+      ("protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,379 @@
+(* Serving semantics, against an in-process daemon: concurrent replies
+   bit-identical to sequential runs, backpressure on a full queue,
+   deadline expiry freeing the worker slot, and graceful drain with
+   zero dropped replies.  (The CI smoke job covers the same ground over
+   a real process boundary with a real SIGTERM.) *)
+
+module Json = Hlp_server.Json
+module P = Hlp_server.Protocol
+module Server = Hlp_server.Server
+module Client = Hlp_server.Client
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Benchmarks = Hlp_cdfg.Benchmarks
+module Reg_binding = Hlp_core.Reg_binding
+module Sa_table = Hlp_core.Sa_table
+module Hlpower = Hlp_core.Hlpower
+module Flow = Hlp_rtl.Flow
+
+let check = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  Printf.sprintf "/tmp/hlp_test_%d_%d.sock" (Unix.getpid ()) !socket_counter
+
+(* Start a server, run [f] against it, then drain — whatever [f] did. *)
+let with_server ?(workers = 2) ?(queue_capacity = 64) f =
+  let socket_path = fresh_socket () in
+  let config =
+    { Server.default_config with
+      Server.socket_path; workers; queue_capacity }
+  in
+  let server = Server.create ~config () in
+  let runner = Thread.create (fun () -> Server.run server) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join runner;
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () -> f socket_path server)
+
+let is_ok = function
+  | Ok { P.payload = P.Result _; _ } -> true
+  | _ -> false
+
+let error_code = function
+  | Ok { P.payload = P.Error { code; _ }; _ } -> Some code
+  | _ -> None
+
+(* --- concurrent daemon == sequential CLI --- *)
+
+(* Extract the raw bytes of the "result" object from a reply frame, so
+   the comparison below is literal byte equality, not
+   parse-and-compare. *)
+let raw_result_of_frame line =
+  let marker = "\"result\": " in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length line then
+      Alcotest.failf "no result field in %s" line
+    else if String.sub line i mlen = marker then i + mlen
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let n = String.length line in
+  let rec scan i depth in_string escaped =
+    if i >= n then Alcotest.failf "unterminated result in %s" line
+    else
+      let c = line.[i] in
+      if in_string then
+        scan (i + 1) depth
+          (escaped || c <> '"')
+          ((not escaped) && c = '\\')
+      else
+        match c with
+        | '"' -> scan (i + 1) depth true false
+        | '{' | '[' -> scan (i + 1) (depth + 1) false false
+        | '}' | ']' ->
+            if depth = 1 then i + 1 else scan (i + 1) (depth - 1) false false
+        | _ -> scan (i + 1) depth false false
+  in
+  let stop = scan start 0 false false in
+  String.sub line start (stop - start)
+
+(* One raw-frame exchange: send the request, return the reply frame. *)
+let raw_request socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      P.write_frame fd (P.encode_request req);
+      match P.read_frame (P.reader_of_fd fd) with
+      | `Frame line -> line
+      | `Too_large _ | `Eof -> Alcotest.fail "no reply frame")
+
+let flow_width = 8
+let flow_vectors = 30
+
+(* The CLI pipeline for [bench], run sequentially in this process. *)
+let sequential_flow_report bench =
+  let p = Benchmarks.find bench in
+  let cdfg = Benchmarks.generate p in
+  let schedule =
+    Schedule.list_schedule cdfg ~resources:(Benchmarks.resources p)
+  in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let sa_table = Sa_table.create ~width:flow_width ~k:4 () in
+  let params = Hlpower.calibrate ~alpha:0.5 sa_table in
+  let r =
+    Hlpower.bind ~params ~sa_table ~regs
+      ~resources:(fun cls -> max 1 (Schedule.max_density schedule cls))
+      schedule
+  in
+  let config =
+    { Flow.default_config with Flow.width = flow_width; vectors = flow_vectors }
+  in
+  Flow.run ~config ~design:(bench ^ "-hlpower") r.Hlpower.binding
+
+let test_concurrent_matches_sequential () =
+  let benches = [ "pr"; "wang"; "honda"; "mcm" ] in
+  with_server ~workers:4 (fun socket _server ->
+      (* 4 concurrent clients, one bench each, all in flight at once. *)
+      let frames = Array.make (List.length benches) "" in
+      let threads =
+        List.mapi
+          (fun i bench ->
+            Thread.create
+              (fun () ->
+                frames.(i) <-
+                  raw_request socket
+                    {
+                      P.id = Json.Int i;
+                      deadline_ms = None;
+                      op =
+                        P.Flow
+                          { P.default_bind_params with
+                            P.bench;
+                            width = flow_width;
+                            vectors = flow_vectors };
+                    })
+              ())
+          benches
+      in
+      List.iter Thread.join threads;
+      List.iteri
+        (fun i bench ->
+          let expected = Flow.json_of_report (sequential_flow_report bench) in
+          check_s
+            (Printf.sprintf "%s concurrent == sequential (bit-identical)"
+               bench)
+            expected
+            (raw_result_of_frame frames.(i)))
+        benches)
+
+(* --- lint over the wire: its pretty-printed report must survive the
+   newline-delimited framing --- *)
+
+let test_lint_reply_single_frame () =
+  with_server ~workers:1 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match
+            Client.request c
+              {
+                P.id = Json.Int 1;
+                deadline_ms = None;
+                op =
+                  P.Lint
+                    {
+                      P.lint_bench = Some "pr";
+                      lint_binder = "both";
+                      lint_width = 8;
+                    };
+              }
+          with
+          | Ok { P.payload = P.Result { result; _ }; _ } ->
+              check "two designs linted" true
+                (Json.member "designs" result = Some (Json.Int 2));
+              check "no lint errors" true
+                (Json.member "errors" result = Some (Json.Int 0));
+              check "report object present" true
+                (match Json.member "report" result with
+                | Some (Json.Obj _) -> true
+                | _ -> false)
+          | Ok { P.payload = P.Error { message; _ }; _ } ->
+              Alcotest.failf "lint replied error: %s" message
+          | Error e -> Alcotest.failf "lint transport error: %s" e))
+
+(* --- backpressure: a full queue refuses rather than hangs --- *)
+
+let test_overloaded () =
+  with_server ~workers:1 ~queue_capacity:1 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let ping i ms =
+            Client.send c
+              { P.id = Json.Int i; deadline_ms = None; op = P.Ping ms }
+          in
+          ping 1 800;
+          Thread.delay 0.25 (* worker picks #1 up; queue empty again *);
+          ping 2 800 (* fills the queue *);
+          Thread.delay 0.1;
+          ping 3 0 (* queue full -> refused immediately *);
+          (* The refusal arrives first — #1 and #2 are still running. *)
+          let r3 = Client.recv c in
+          check "third request refused" true
+            (error_code r3 = Some P.Overloaded);
+          (match r3 with
+          | Ok { P.reply_id; _ } ->
+              check "refusal echoes its id" true (reply_id = Json.Int 3)
+          | Error e -> Alcotest.fail e);
+          (* The admitted requests still complete. *)
+          check "first request ok" true (is_ok (Client.recv c));
+          check "second request ok" true (is_ok (Client.recv c))))
+
+(* --- deadlines: expiry replies deadline_exceeded and frees the slot --- *)
+
+let test_deadline_exceeded () =
+  with_server ~workers:1 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Client.request c
+              { P.id = Json.Int 1; deadline_ms = Some 50; op = P.Ping 5000 }
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check "expired" true (error_code r = Some P.Deadline_exceeded);
+          (* The 5 s ping was abandoned at a checkpoint, not run out. *)
+          check
+            (Printf.sprintf "slot freed early (%.2f s)" elapsed)
+            true (elapsed < 2.0);
+          (* The freed worker serves the next request promptly. *)
+          let r2 =
+            Client.request c
+              { P.id = Json.Int 2; deadline_ms = None; op = P.Ping 0 }
+          in
+          check "next request succeeds" true (is_ok r2)))
+
+let test_deadline_expired_in_queue () =
+  (* A request whose deadline passes while it waits in the queue is
+     rejected the moment a worker picks it up. *)
+  with_server ~workers:1 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send c
+            { P.id = Json.Int 1; deadline_ms = None; op = P.Ping 500 };
+          Thread.delay 0.1;
+          Client.send c
+            { P.id = Json.Int 2; deadline_ms = Some 50; op = P.Ping 0 };
+          let r1 = Client.recv c in
+          let r2 = Client.recv c in
+          check "long ping ok" true (is_ok r1);
+          check "queued request expired" true
+            (error_code r2 = Some P.Deadline_exceeded)))
+
+(* --- stats answers inline even when every worker is busy --- *)
+
+let test_stats_inline () =
+  with_server ~workers:1 (fun socket server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send c
+            { P.id = Json.Int 1; deadline_ms = None; op = P.Ping 600 };
+          Thread.delay 0.2 (* the only worker is now busy *);
+          let c2 = Client.connect socket in
+          Fun.protect
+            ~finally:(fun () -> Client.close c2)
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Client.request c2
+                  { P.id = Json.Int 2; deadline_ms = None; op = P.Stats }
+              in
+              let elapsed = Unix.gettimeofday () -. t0 in
+              check "stats ok" true (is_ok r);
+              check "stats served while worker busy" true (elapsed < 0.3));
+          check "ping completes" true (is_ok (Client.recv c));
+          ignore (Server.stats_json server)))
+
+(* --- graceful drain: every accepted request gets its reply --- *)
+
+let test_drain_completes_accepted () =
+  with_server ~workers:2 (fun socket server ->
+      let n = 3 in
+      let results = Array.make n (Error "no reply") in
+      let clients =
+        Array.init n (fun _ -> Client.connect socket)
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Client.close clients)
+        (fun () ->
+          Array.iteri
+            (fun i c ->
+              Client.send c
+                { P.id = Json.Int i; deadline_ms = None; op = P.Ping 600 })
+            clients;
+          Thread.delay 0.2 (* all three accepted: 2 running + 1 queued *);
+          Server.shutdown server;
+          (* Despite the shutdown racing the work, every accepted request
+             completes and its reply is delivered. *)
+          let readers =
+            Array.to_list
+              (Array.mapi
+                 (fun i c ->
+                   Thread.create (fun () -> results.(i) <- Client.recv c) ())
+                 clients)
+          in
+          List.iter Thread.join readers;
+          Array.iteri
+            (fun i r ->
+              check (Printf.sprintf "request %d replied after SIGTERM" i) true
+                (is_ok r))
+            results);
+      (* Once drained, the socket is gone: new connections are refused. *)
+      (match Client.connect socket with
+      | c ->
+          Client.close c;
+          Alcotest.fail "connect after drain should fail"
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+          ()))
+
+let test_draining_refuses_new_requests () =
+  with_server ~workers:1 (fun socket server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send c
+            { P.id = Json.Int 1; deadline_ms = None; op = P.Ping 600 };
+          Thread.delay 0.15;
+          Server.shutdown server;
+          Thread.delay 0.05;
+          (* The connection predates the drain, so this send still lands —
+             but admission is closed. *)
+          (match
+             Client.request c
+               { P.id = Json.Int 2; deadline_ms = None; op = P.Ping 0 }
+           with
+          | r ->
+              check "late request refused as draining" true
+                (error_code r = Some P.Draining)
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+              (* The drain may win the race and close the connection
+                 before the frame lands; that is also a refusal. *)
+              ());
+          check "accepted request still completes" true
+            (is_ok (Client.recv c))))
+
+let suite =
+  [
+    Alcotest.test_case "4 concurrent clients == sequential" `Slow
+      test_concurrent_matches_sequential;
+    Alcotest.test_case "lint reply is one frame" `Quick
+      test_lint_reply_single_frame;
+    Alcotest.test_case "full queue -> overloaded" `Quick test_overloaded;
+    Alcotest.test_case "deadline exceeded frees slot" `Quick
+      test_deadline_exceeded;
+    Alcotest.test_case "deadline expires in queue" `Quick
+      test_deadline_expired_in_queue;
+    Alcotest.test_case "stats inline under load" `Quick test_stats_inline;
+    Alcotest.test_case "drain completes accepted work" `Quick
+      test_drain_completes_accepted;
+    Alcotest.test_case "draining refuses new work" `Quick
+      test_draining_refuses_new_requests;
+  ]
