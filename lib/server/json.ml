@@ -73,19 +73,46 @@ let parse_string st =
             | 'r' -> Buffer.add_char buf '\r'
             | 't' -> Buffer.add_char buf '\t'
             | 'u' ->
-                if st.pos + 4 > String.length st.src then
-                  fail st "truncated \\u escape";
-                let code =
-                  List.fold_left
-                    (fun acc i -> (acc * 16) + hex_digit st st.src.[st.pos + i])
-                    0 [ 0; 1; 2; 3 ]
+                let hex4 () =
+                  if st.pos + 4 > String.length st.src then
+                    fail st "truncated \\u escape";
+                  let code =
+                    List.fold_left
+                      (fun acc i ->
+                        (acc * 16) + hex_digit st st.src.[st.pos + i])
+                      0 [ 0; 1; 2; 3 ]
+                  in
+                  st.pos <- st.pos + 4;
+                  code
                 in
-                st.pos <- st.pos + 4;
-                (* ASCII round-trips (it is all the protocol emits);
-                   anything beyond is flattened to '?' rather than
-                   growing a UTF-8 encoder nothing needs. *)
-                if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                else Buffer.add_char buf '?'
+                let code = hex4 () in
+                let code =
+                  (* A high surrogate followed by \uDC00-\uDFFF encodes
+                     one supplementary-plane code point. *)
+                  if
+                    code >= 0xD800 && code <= 0xDBFF
+                    && st.pos + 2 <= String.length st.src
+                    && st.src.[st.pos] = '\\'
+                    && st.src.[st.pos + 1] = 'u'
+                  then (
+                    let saved = st.pos in
+                    st.pos <- st.pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                    else (
+                      (* Not a low surrogate: re-parse it as its own
+                         escape on the next loop iteration. *)
+                      st.pos <- saved;
+                      code))
+                  else code
+                in
+                if Uchar.is_valid code then
+                  Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+                else
+                  (* Lone surrogate: lexically valid JSON but not a
+                     scalar value; substitute U+FFFD. *)
+                  Buffer.add_utf_8_uchar buf Uchar.rep
             | c -> fail st (Printf.sprintf "invalid escape '\\%c'" c));
             loop ())
     | Some c when Char.code c < 0x20 -> fail st "control character in string"

@@ -4,9 +4,11 @@
     [Hlp_rtl.Flow], [Hlp_lint]); the serving daemon is the first thing
     that must also {e read} it, and the environment carries no JSON
     package, so this module completes the loop: a small recursive-descent
-    parser plus a printer, covering exactly the JSON subset the protocol
-    uses (RFC 8259 minus [\uXXXX] escapes above the Basic Multilingual
-    Plane surrogate handling — they decode to ['?']).
+    parser plus a printer, covering the full RFC 8259 grammar: [\uXXXX]
+    escapes decode to UTF-8 (surrogate pairs combine into one
+    supplementary-plane code point; a lone surrogate becomes U+FFFD),
+    and the printer passes non-ASCII bytes through verbatim, so
+    non-ASCII string values — request ids included — round-trip.
 
     Two deliberate choices:
 

@@ -539,9 +539,12 @@ let read_frame r =
     if r.chunk_pos >= r.chunk_len then
       if refill r then loop ()
       else if r.overflow > 0 then (
-        (* oversized frame truncated by EOF *)
-        let n = r.overflow in
+        (* Oversized frame truncated by EOF.  Count and discard the
+           buffered prefix too, as the newline path does — otherwise the
+           next call would hand that prefix back as a spurious frame. *)
+        let n = r.overflow + Buffer.length r.buf in
         r.overflow <- 0;
+        Buffer.clear r.buf;
         `Too_large n)
       else if Buffer.length r.buf > 0 then (
         let line = Buffer.contents r.buf in

@@ -178,8 +178,9 @@ val reader_of_fd : ?max_frame:int -> Unix.file_descr -> reader
 (** [read_frame r] blocks for the next frame.
     [`Frame line] is one complete line without its ['\n'].
     [`Too_large n] reports a frame of [n] bytes (> [max_frame]) that was
-    discarded up to its terminating newline — the connection remains
-    usable and the next {!read_frame} reads the following frame.
+    discarded in full, up to its terminating newline (or EOF) — the
+    connection remains usable and the next {!read_frame} reads the
+    following frame (or [`Eof]).
     [`Eof] means the peer closed with no partial frame outstanding (a
     partial unterminated frame at EOF is delivered as [`Frame]). *)
 val read_frame : reader -> [ `Frame of string | `Too_large of int | `Eof ]

@@ -24,6 +24,24 @@ let default_config =
 (* Raised by the deadline checkpoint between pipeline phases. *)
 exception Expired
 
+(* Replies from concurrently completing jobs interleave on one socket;
+   the write mutex keeps each frame atomic.  The refcount keeps the fd
+   open while anyone may still write to it: the reader thread holds one
+   reference for the connection's lifetime and every scheduled job holds
+   one until its reply is sent, so a client EOF cannot close (and let
+   the kernel recycle) an fd that a queued job will later write to. *)
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;  (* serialises frame writes *)
+  rmu : Mutex.t;  (* guards [refs] *)
+  mutable refs : int;
+}
+
+(* One per accepted connection, registered in [t.conns] before the
+   handler thread starts so drain can see every live connection; [th] is
+   filled in right after [Thread.create] returns. *)
+type conn_entry = { conn : conn; mutable th : Thread.t option }
+
 type t = {
   cfg : config;
   router : Router.t;
@@ -34,7 +52,7 @@ type t = {
   stop : bool Atomic.t;
   started_at : float;
   conn_mu : Mutex.t;
-  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable conns : conn_entry list;
 }
 
 let config t = t.cfg
@@ -133,13 +151,21 @@ let stats_json t : Json.t =
 
 (* --- per-connection handling --- *)
 
-(* Replies from concurrently completing jobs interleave on one socket;
-   the write mutex keeps each frame atomic.  Write failures mean the
-   client left — the work's result is simply dropped, which is the only
-   "dropped reply" the drain guarantee permits (there is no one left to
-   read it). *)
-type conn = { fd : Unix.file_descr; wmu : Mutex.t }
+let conn_retain conn =
+  Mutex.lock conn.rmu;
+  conn.refs <- conn.refs + 1;
+  Mutex.unlock conn.rmu
 
+let conn_release conn =
+  Mutex.lock conn.rmu;
+  conn.refs <- conn.refs - 1;
+  let close = conn.refs = 0 in
+  Mutex.unlock conn.rmu;
+  if close then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* Write failures mean the client left — the work's result is simply
+   dropped, which is the only "dropped reply" the drain guarantee
+   permits (there is no one left to read it). *)
 let send conn reply =
   Mutex.lock conn.wmu;
   Fun.protect
@@ -223,22 +249,30 @@ let dispatch t conn (req : Protocol.request) =
             Some (now () +. (float_of_int ms /. 1000.))
         | None, None -> None
       in
-      match Scheduler.submit t.scheduler (fun () -> run_request t conn req ~deadline) with
+      conn_retain conn;
+      let job () =
+        Fun.protect
+          ~finally:(fun () -> conn_release conn)
+          (fun () -> run_request t conn req ~deadline)
+      in
+      match Scheduler.submit t.scheduler job with
       | `Accepted -> ()
       | `Overloaded ->
+          conn_release conn;
           Telemetry.count "server.requests_overloaded" 1;
           send conn
             (Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
                "queue full (%d waiting); retry later"
                t.cfg.queue_capacity)
       | `Draining ->
+          conn_release conn;
           send conn
             (Protocol.error_reply ~id:req.Protocol.id Protocol.Draining
                "daemon is draining; connect again after restart"))
 
-let serve_conn t fd =
-  let conn = { fd; wmu = Mutex.create () } in
-  let reader = Protocol.reader_of_fd ~max_frame:t.cfg.max_frame fd in
+let serve_conn t entry =
+  let conn = entry.conn in
+  let reader = Protocol.reader_of_fd ~max_frame:t.cfg.max_frame conn.fd in
   let rec loop () =
     match Protocol.read_frame reader with
     | `Eof -> ()
@@ -262,7 +296,14 @@ let serve_conn t fd =
   in
   (try loop ()
    with Unix.Unix_error _ | Sys_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  (* Deregister before dropping the reader's reference: once released,
+     the fd may close (and its number be recycled) as soon as the last
+     in-flight job replies, and drain must never Unix.shutdown a
+     recycled descriptor it finds in [t.conns]. *)
+  Mutex.lock t.conn_mu;
+  t.conns <- List.filter (fun e -> e != entry) t.conns;
+  Mutex.unlock t.conn_mu;
+  conn_release conn
 
 let accept_loop t =
   let rec loop () =
@@ -280,9 +321,23 @@ let accept_loop t =
                   | exception Unix.Unix_error _ -> ()
                   | fd, _ ->
                       Telemetry.count "server.connections" 1;
-                      let th = Thread.create (fun () -> serve_conn t fd) () in
+                      let conn =
+                        {
+                          fd;
+                          wmu = Mutex.create ();
+                          rmu = Mutex.create ();
+                          refs = 1 (* the reader thread's reference *);
+                        }
+                      in
+                      let entry = { conn; th = None } in
                       Mutex.lock t.conn_mu;
-                      t.conns <- (fd, th) :: t.conns;
+                      t.conns <- entry :: t.conns;
+                      Mutex.unlock t.conn_mu;
+                      let th =
+                        Thread.create (fun () -> serve_conn t entry) ()
+                      in
+                      Mutex.lock t.conn_mu;
+                      entry.th <- Some th;
                       Mutex.unlock t.conn_mu)
               t.listeners;
             loop ()
@@ -311,16 +366,21 @@ let run t =
         outstanding. *)
   Scheduler.drain t.scheduler;
   (* 3. Release the connections: shutdown unblocks handler threads
-        stuck in read, then join them. *)
+        stuck in read, then join them.  Only live connections are still
+        registered — each handler deregisters itself on exit — and a
+        registered conn's fd is provably open (its reader reference is
+        still held), so no recycled fd number can be shut down here. *)
   Mutex.lock t.conn_mu;
   let conns = t.conns in
-  t.conns <- [];
   Mutex.unlock t.conn_mu;
   List.iter
-    (fun (fd, _) ->
-      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    (fun { conn; _ } ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ -> ())
     conns;
-  List.iter (fun (_, th) -> Thread.join th) conns;
+  List.iter
+    (fun { th; _ } -> match th with Some th -> Thread.join th | None -> ())
+    conns;
   (* 4. Flush warm state and diagnostics. *)
   Router.persist t.router;
   Telemetry.write_if_requested ();

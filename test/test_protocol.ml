@@ -71,6 +71,30 @@ let test_json_errors () =
             (pos >= 0 && pos <= String.length s))
     [ ""; "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "1 2"; "{]}" ]
 
+let test_json_unicode_escapes () =
+  let parse_string s =
+    match Json.parse s with
+    | Ok (Json.String v) -> v
+    | Ok _ | Error _ -> Alcotest.failf "%S did not parse as a string" s
+  in
+  (* \uXXXX decodes to UTF-8, not a lossy placeholder. *)
+  check_s "BMP escape" "\xc3\xa9" (parse_string "\"\\u00e9\"");
+  check_s "ASCII escape" "A" (parse_string "\"\\u0041\"");
+  (* A surrogate pair combines into one supplementary code point. *)
+  check_s "surrogate pair" "\xf0\x9f\x98\x80"
+    (parse_string "\"\\ud83d\\ude00\"");
+  (* Lone surrogates are lexically valid JSON; they become U+FFFD. *)
+  check_s "lone high surrogate" "\xef\xbf\xbd"
+    (parse_string "\"\\ud800\"");
+  check_s "high surrogate then ordinary escape" "\xef\xbf\xbdA"
+    (parse_string "\"\\ud800\\u0041\"");
+  (* Non-ASCII round-trips through the printer: a client using such a
+     string as a request id gets the same id echoed back. *)
+  let id = "caf\xc3\xa9-\xf0\x9f\x98\x80" in
+  match Json.parse (Json.to_string (Json.String id)) with
+  | Ok (Json.String v) -> check_s "non-ASCII id round trip" id v
+  | Ok _ | Error _ -> Alcotest.fail "non-ASCII string did not re-parse"
+
 let test_json_raw_splice () =
   let v = Json.Obj [ ("r", Json.Raw "{\"x\": 1}"); ("k", Json.Int 2) ] in
   check_s "raw spliced verbatim" "{\"r\": {\"x\": 1}, \"k\": 2}"
@@ -335,6 +359,22 @@ let test_oversized_frame_rejected () =
       | _ -> Alcotest.fail "expected the frame after the oversized one");
       Thread.join writer)
 
+let test_oversized_frame_at_eof () =
+  (* An oversized frame cut off by EOF must count its buffered prefix
+     and must not leave that prefix behind to surface as a spurious
+     frame on the next read. *)
+  with_pipe (fun r w ->
+      let max_frame = 1024 in
+      let reader = P.reader_of_fd ~max_frame r in
+      let total = 8 * 1024 in
+      let big = String.make total 'x' in
+      ignore (Unix.write_substring w big 0 total);
+      Unix.close w;
+      (match P.read_frame reader with
+      | `Too_large n -> check_i "all bytes counted" total n
+      | _ -> Alcotest.fail "expected Too_large");
+      check "then eof, no garbage frame" true (P.read_frame reader = `Eof))
+
 let test_oversized_frame_bounded_memory () =
   (* Discarding a huge frame must not buffer it: a 64 MiB frame against
      a 4 KiB cap keeps the reader's buffer under the cap at all times
@@ -379,6 +419,8 @@ let suite =
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json float precision" `Quick test_json_float_precision;
     Alcotest.test_case "json parse errors" `Quick test_json_errors;
+    Alcotest.test_case "json unicode escapes" `Quick
+      test_json_unicode_escapes;
     Alcotest.test_case "json raw splice" `Quick test_json_raw_splice;
     Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
     Alcotest.test_case "reply round trip" `Quick test_reply_roundtrip;
@@ -396,6 +438,8 @@ let suite =
     Alcotest.test_case "partial frame at eof" `Quick test_partial_frame_at_eof;
     Alcotest.test_case "oversized frame rejected" `Quick
       test_oversized_frame_rejected;
+    Alcotest.test_case "oversized frame at eof" `Quick
+      test_oversized_frame_at_eof;
     Alcotest.test_case "oversized frame bounded memory" `Quick
       test_oversized_frame_bounded_memory;
   ]

@@ -291,6 +291,39 @@ let test_stats_inline () =
           check "ping completes" true (is_ok (Client.recv c));
           ignore (Server.stats_json server)))
 
+(* --- a client that leaves before its reply must not corrupt another
+   client's stream --- *)
+
+let test_disconnect_before_reply_isolated () =
+  with_server ~workers:1 (fun socket _server ->
+      (* The ghost parks a slow ping and vanishes.  Its fd number
+         becomes the lowest free one — exactly what the next accept
+         reuses if the server closes the fd at client EOF while the job
+         still holds it, sending the ghost's reply into the newcomer's
+         stream. *)
+      let a = Client.connect socket in
+      Client.send a
+        { P.id = Json.String "ghost"; deadline_ms = None; op = P.Ping 400 };
+      Client.close a;
+      let b = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close b)
+        (fun () ->
+          (* One worker: these queue behind the ghost ping, so its
+             orphaned reply is written while this stream is live. *)
+          for i = 1 to 5 do
+            match
+              Client.request b
+                { P.id = Json.Int i; deadline_ms = None; op = P.Ping 50 }
+            with
+            | Ok { P.reply_id; payload = P.Result _ } ->
+                check (Printf.sprintf "reply %d carries its own id" i) true
+                  (reply_id = Json.Int i)
+            | Ok { P.payload = P.Error { message; _ }; _ } ->
+                Alcotest.failf "request %d replied error: %s" i message
+            | Error e -> Alcotest.failf "request %d transport error: %s" i e
+          done))
+
 (* --- graceful drain: every accepted request gets its reply --- *)
 
 let test_drain_completes_accepted () =
@@ -372,6 +405,8 @@ let suite =
     Alcotest.test_case "deadline expires in queue" `Quick
       test_deadline_expired_in_queue;
     Alcotest.test_case "stats inline under load" `Quick test_stats_inline;
+    Alcotest.test_case "disconnect before reply stays isolated" `Quick
+      test_disconnect_before_reply_isolated;
     Alcotest.test_case "drain completes accepted work" `Quick
       test_drain_completes_accepted;
     Alcotest.test_case "draining refuses new work" `Quick
