@@ -462,7 +462,7 @@ let ablation_module_select () =
     let elab = Hlp_rtl.Elaborate.elaborate dp in
     let mapping = Hlp_mapper.Mapper.map elab.Hlp_rtl.Elaborate.netlist ~k:4 in
     let sim_config =
-      { Hlp_rtl.Sim.vectors = min vectors 100; seed = "ms"; check = true }
+      { Hlp_rtl.Sim.default_config with Hlp_rtl.Sim.vectors = min vectors 100; seed = "ms" }
     in
     let sim =
       Hlp_rtl.Sim.run ~config:sim_config elab
@@ -510,6 +510,120 @@ let ablation_port_assign () =
                ~objective:Hlp_core.Port_assign.Min_inputs b))
         [ ("lopass", pr.lopass); ("hlpower", pr.hlp_a05) ])
     [ "pr"; "mcm" ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulation engines: the scalar oracle vs the bit-parallel word
+   engine, on the two workloads that pay for simulation — the
+   SA-precompute sweep (monte-carlo measured SA of every
+   (class, left, right) partial datapath the binder can request) and
+   the post-bind glitch-accurate sweep of a full design.  The mapped
+   networks are built once outside the timed region, so the rows time
+   simulation and nothing else; result identity between the engines is
+   asserted, not assumed. *)
+
+type engine_speed = {
+  workload : string;
+  sim_vectors : int;  (* total vectors each engine simulated *)
+  scalar_s : float;
+  parallel_s : float;
+  identical : bool;
+}
+
+let sa_measure_vectors = 1000
+let sa_measure_inputs = 6
+
+let sim_engine_rows =
+  lazy
+    ((* Workload 1: SA-precompute, the full symmetric key square. *)
+     let keys = ref [] in
+     List.iter
+       (fun cls ->
+         for l = 1 to sa_measure_inputs do
+           for r = l to sa_measure_inputs do keys := (cls, l, r) :: !keys done
+         done)
+       Cdfg.all_classes;
+     let nets =
+       List.rev_map
+         (fun (cls, l, r) -> ST.lut_network sa_table cls ~left:l ~right:r)
+         !keys
+     in
+     let sweep engine () =
+       List.map
+         (fun net ->
+           Hlp_activity.Switching.total net
+             (Hlp_activity.Switching.monte_carlo ~engine ~seed:"sa-measure"
+                ~vectors:sa_measure_vectors net))
+         nets
+     in
+     ignore (sweep `Bit_parallel ());
+     let t0 = now () in
+     let sa_par = sweep `Bit_parallel () in
+     let t_par = now () -. t0 in
+     let t1 = now () in
+     let sa_sca = sweep `Scalar () in
+     let t_sca = now () -. t1 in
+     let row_sa =
+       {
+         workload = "sa-precompute";
+         sim_vectors = List.length nets * sa_measure_vectors;
+         scalar_s = t_sca;
+         parallel_s = t_par;
+         identical = sa_par = sa_sca;
+       }
+     in
+     (* Workload 2: post-bind glitch-accurate sweep of one design.  The
+        golden-model check costs the same in either engine, so it is
+        off here: the row times the engines, the differential test
+        suite covers checking. *)
+     let pr = find_prepared "pr" in
+     let dp = Hlp_rtl.Datapath.build ~width pr.hlp_a05 in
+     let elab = Hlp_rtl.Elaborate.elaborate dp in
+     let mapping = Hlp_mapper.Mapper.map elab.Hlp_rtl.Elaborate.netlist ~k:4 in
+     let network = mapping.Hlp_mapper.Mapper.lut_network in
+     let config =
+       { Hlp_rtl.Sim.default_config with Hlp_rtl.Sim.vectors; check = false }
+     in
+     ignore (Hlp_rtl.Sim.run_parallel ~config elab ~network);
+     let t2 = now () in
+     let r_par = Hlp_rtl.Sim.run_parallel ~config elab ~network in
+     let t_par2 = now () -. t2 in
+     let t3 = now () in
+     let r_sca = Hlp_rtl.Sim.run_scalar ~config elab ~network in
+     let t_sca2 = now () -. t3 in
+     let row_sim =
+       {
+         workload = "post-bind-sweep";
+         sim_vectors = vectors;
+         scalar_s = t_sca2;
+         parallel_s = t_par2;
+         identical = r_par = r_sca;
+       }
+     in
+     [ row_sa; row_sim ])
+
+let rate v s = if stable || s <= 0. then 0. else float_of_int v /. s
+let speedup_of r = if stable || r.parallel_s <= 0. then 0.
+                   else r.scalar_s /. r.parallel_s
+
+let sim_engines () =
+  section
+    (Printf.sprintf
+       "Simulation engines: scalar oracle vs bit-parallel (%d lanes/word)"
+       Hlp_util.Bits.lanes);
+  Printf.printf "%-18s %9s %14s %14s %8s %10s\n" "workload" "vectors"
+    "scalar vec/s" "parallel vec/s" "speedup" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %9d %14.0f %14.0f %7.1fx %10b\n" r.workload
+        r.sim_vectors
+        (rate r.sim_vectors r.scalar_s)
+        (rate r.sim_vectors r.parallel_s)
+        (speedup_of r) r.identical;
+      if not r.identical then begin
+        Printf.eprintf "[sim] engines diverged on %s\n%!" r.workload;
+        exit 1
+      end)
+    (Lazy.force sim_engine_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, timing the
@@ -597,9 +711,10 @@ let bench_json ~total_seconds path =
   add
     (Printf.sprintf
        "  \"meta\": {\"width\": %d, \"vectors\": %d, \"variants\": %d, \
-        \"fast\": %b, \"stable\": %b, \"jobs\": %d, \"sa_cache\": %s, \
-        \"lib_fingerprint\": \"%s\"},\n"
+        \"fast\": %b, \"stable\": %b, \"jobs\": %d, \"sim_engine\": \
+        \"%s\", \"sa_cache\": %s, \"lib_fingerprint\": \"%s\"},\n"
        width vectors variants fast stable (Pool.jobs ())
+       (Hlp_rtl.Sim.(engine_name (resolve_engine Auto)))
        (match ST.cache_file sa_table with
        | Some p -> Printf.sprintf "\"%s\"" (Telemetry.json_escape p)
        | None -> "null")
@@ -665,6 +780,27 @@ let bench_json ~total_seconds path =
        (List.length (ST.entries sa_table))
        (ST.hits sa_table) (ST.misses sa_table) (ST.disk_hits sa_table)
        (ST.disk_entries sa_table));
+  (* Engine comparison: vectors/sec are wall-clock derived, so they go
+     to 0 under HLP_STABLE like every other timing; [identical] is the
+     asserted scalar-vs-parallel result equality and stays real. *)
+  add "  \"sim\": {\"lanes\": ";
+  add (string_of_int Hlp_util.Bits.lanes);
+  add ", \"workloads\": [";
+  sep := "";
+  List.iter
+    (fun r ->
+      add
+        (Printf.sprintf
+           "%s\n    {\"name\": \"%s\", \"vectors\": %d, \
+            \"scalar_vectors_per_sec\": %s, \"parallel_vectors_per_sec\": \
+            %s, \"sim_vectors_per_sec_speedup\": %s, \"identical\": %b}"
+           !sep r.workload r.sim_vectors
+           (jf (rate r.sim_vectors r.scalar_s))
+           (jf (rate r.sim_vectors r.parallel_s))
+           (jf (speedup_of r)) r.identical);
+      sep := ",")
+    (Lazy.force sim_engine_rows);
+  add "\n  ]},\n";
   (* Phase wall clock (elaborate / map / sim / power / bind, plus the
      per-design flow spans).  Call counts stay real in stable mode;
      only the seconds are zeroed. *)
@@ -797,6 +933,7 @@ let () =
   ablation_multicycle ();
   ablation_port_assign ();
   ablation_module_select ();
+  sim_engines ();
   (* Bechamel numbers are wall-clock by nature; skip them entirely in
      byte-stable mode. *)
   if not stable then bechamel_section ();

@@ -561,7 +561,8 @@ let run_client socket tcp op bench binder alpha width vectors port_assign
               Client.recv c
           | None ->
               let bind_params () =
-                { Protocol.bench = need_bench ();
+                { Protocol.default_bind_params with
+                  Protocol.bench = need_bench ();
                   binder; alpha; width; vectors; port_assign }
               in
               let op =

@@ -129,6 +129,18 @@ let eval t assignment =
     t.nodes;
   values
 
+let eval_words t assignment =
+  if Array.length assignment <> Array.length t.inputs then
+    invalid_arg "Netlist.eval_words: wrong assignment length";
+  let values = Array.make (Array.length t.nodes) 0 in
+  Array.iteri (fun k id -> values.(id) <- assignment.(k)) t.inputs;
+  Array.iter
+    (fun n ->
+      if not t.input_set.(n.id) then
+        values.(n.id) <- Truth_table.eval_words_at n.func values n.fanins)
+    t.nodes;
+  values
+
 let output_values t assignment =
   let values = eval t assignment in
   List.map (fun (name, id) -> (name, values.(id))) t.outputs

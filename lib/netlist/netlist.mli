@@ -92,6 +92,15 @@ val num_logic_nodes : t -> int
     semantics for the simulators and property tests. *)
 val eval : t -> bool array -> bool array
 
+(** [eval_words t assignment] is the bit-parallel {!eval}: each input
+    word packs one boolean per lane (bit position), and the result holds
+    one word per node id whose lane [l] equals [eval]'s value for the
+    assignment formed by lane [l] of every input.  Lanes are independent;
+    inactive lanes simply compute the network's response to whatever
+    bits they carry.  See {!Hlp_util.Bits} for the lane conventions.
+    @raise Invalid_argument on an assignment length mismatch. *)
+val eval_words : t -> int array -> int array
+
 (** [output_values t assignment] is [eval] restricted to declared outputs,
     in declaration order. *)
 val output_values : t -> bool array -> (string * bool) list

@@ -33,6 +33,79 @@ let var i n =
   create n var_mask.(i)
 
 let eval t m = Int64.logand (Int64.shift_right_logical t.bits m) 1L = 1L
+
+(* Shannon expansion on the table column: at each level the column
+   splits into the low half (input n-1 = 0) and high half (input n-1 =
+   1), and the input's word selects between the two lane-wise.  The
+   recursion runs on native ints (a 2^5-entry column fits; arity 6
+   splits on its top input first) so no Int64 boxing happens on the hot
+   path, and equal halves fold to a constant without reading the input
+   word.  <= ~3*2^n word operations, no allocation — the kernel of the
+   bit-parallel simulator. *)
+let rec shannon ws bits n =
+  if n = 0 then (if bits land 1 = 1 then -1 else 0)
+  else begin
+    let half = 1 lsl (n - 1) in
+    let lo = shannon ws bits (n - 1) in
+    let hi = shannon ws (bits lsr half) (n - 1) in
+    if lo = hi then lo
+    else
+      let w = Array.unsafe_get ws (n - 1) in
+      (w land hi) lor (lnot w land lo)
+  end
+
+(* Same expansion, but input word [i] is [values.(fanins.(i))] — lets
+   callers evaluate straight out of a simulation value array without
+   copying fanin words into a scratch buffer first. *)
+let rec shannon_at values fanins bits n =
+  if n = 0 then (if bits land 1 = 1 then -1 else 0)
+  else begin
+    let half = 1 lsl (n - 1) in
+    let lo = shannon_at values fanins bits (n - 1) in
+    let hi = shannon_at values fanins (bits lsr half) (n - 1) in
+    if lo = hi then lo
+    else
+      let w =
+        Array.unsafe_get values (Array.unsafe_get fanins (n - 1))
+      in
+      (w land hi) lor (lnot w land lo)
+  end
+
+let split_top t =
+  (* 2^6 table bits do not fit a 63-bit native int: expose the two
+     32-bit Shannon halves for a manual split on the top input. *)
+  ( Int64.to_int (Int64.logand t.bits 0xFFFFFFFFL),
+    Int64.to_int (Int64.shift_right_logical t.bits 32) )
+
+let eval_words t ws =
+  if Array.length ws <> t.arity then
+    invalid_arg "Truth_table.eval_words: wrong number of input words";
+  if t.arity < max_vars then shannon ws (Int64.to_int t.bits) t.arity
+  else begin
+    let blo, bhi = split_top t in
+    let lo = shannon ws blo 5 and hi = shannon ws bhi 5 in
+    if lo = hi then lo
+    else
+      let w = Array.unsafe_get ws 5 in
+      (w land hi) lor (lnot w land lo)
+  end
+
+let eval_words_at t values fanins =
+  if Array.length fanins <> t.arity then
+    invalid_arg "Truth_table.eval_words_at: wrong number of fanins";
+  if t.arity < max_vars then
+    shannon_at values fanins (Int64.to_int t.bits) t.arity
+  else begin
+    let blo, bhi = split_top t in
+    let lo = shannon_at values fanins blo 5
+    and hi = shannon_at values fanins bhi 5 in
+    if lo = hi then lo
+    else
+      let w =
+        Array.unsafe_get values (Array.unsafe_get fanins 5)
+      in
+      (w land hi) lor (lnot w land lo)
+  end
 let not_ t = create t.arity (Int64.lognot t.bits)
 
 let binop name f a b =

@@ -39,6 +39,21 @@ val var : int -> int -> t
 (** [eval t m] is [f(m)] for minterm [m] (input [i] in bit [i]). *)
 val eval : t -> int -> bool
 
+(** [eval_words t ws] evaluates [f] lane-wise over machine words: bit
+    [l] of the result is [f] applied to bit [l] of each input word
+    [ws.(i)].  Equivalent to [Sys.int_size] calls of {!eval}, computed
+    by Shannon expansion in ~3*2^n word operations.  A 0-arity table
+    broadcasts its constant to every lane.
+    @raise Invalid_argument if [Array.length ws <> arity t]. *)
+val eval_words : t -> int array -> int
+
+(** [eval_words_at t values fanins] is
+    [eval_words t [|values.(fanins.(0)); ...|]] without materializing
+    the intermediate array — the simulation hot path evaluates a node
+    straight out of its value table.
+    @raise Invalid_argument if [Array.length fanins <> arity t]. *)
+val eval_words_at : t -> int array -> int array -> int
+
 (** Pointwise negation. *)
 val not_ : t -> t
 

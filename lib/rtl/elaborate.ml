@@ -173,6 +173,49 @@ let set_controls t buffer ~step =
         t.layout.reg_wsel.(r))
     t.layout.written_regs
 
+(* Word-level variants for the bit-parallel simulator: the buffer holds
+   one machine word per netlist input, each lane a separate simulation
+   vector.  Control lines are FSM state, identical across lanes, so they
+   broadcast over [mask] (inactive lanes stay 0 — the canonical all-false
+   assignment). *)
+
+let set_reg_words t buffer ~reg ~words =
+  Array.iteri
+    (fun bit pos -> buffer.(pos) <- words.(bit))
+    t.layout.reg_bits.(reg)
+
+let set_controls_words t buffer ~step ~mask =
+  let dp = t.datapath in
+  let ctrl = dp.Datapath.ctrl.(step) in
+  Array.iteri
+    (fun f fc ->
+      let set_sel positions value =
+        Array.iteri
+          (fun i pos ->
+            buffer.(pos) <- (if value land (1 lsl i) <> 0 then mask else 0))
+          positions
+      in
+      let left, right, sub =
+        match fc with
+        | Some fc -> (fc.Datapath.left_sel, fc.Datapath.right_sel,
+                      fc.Datapath.subtract)
+        | None -> (0, 0, false)
+      in
+      set_sel t.layout.fu_left_sel.(f) left;
+      set_sel t.layout.fu_right_sel.(f) right;
+      match t.layout.fu_sub.(f) with
+      | Some pos -> buffer.(pos) <- (if sub then mask else 0)
+      | None -> ())
+    ctrl.Datapath.fu_ctrl;
+  List.iter
+    (fun r ->
+      let value = Option.value ~default:0 ctrl.Datapath.reg_load.(r) in
+      Array.iteri
+        (fun i pos ->
+          buffer.(pos) <- (if value land (1 lsl i) <> 0 then mask else 0))
+        t.layout.reg_wsel.(r))
+    t.layout.written_regs
+
 let read_outputs t outputs ~reg =
   if Array.length t.datapath.Datapath.reg_writers.(reg) = 0 then None
   else begin

@@ -43,6 +43,18 @@ val set_reg_bits : t -> bool array -> reg:int -> value:int -> unit
     the datapath's control table for [step] (idle FUs keep select 0). *)
 val set_controls : t -> bool array -> step:int -> unit
 
+(** [set_reg_words t buffer ~reg ~words] is the word-level
+    {!set_reg_bits}: [words.(bit)] packs bit [bit] of register [reg]'s
+    value across the simulation lanes, and is copied verbatim into the
+    word [buffer] at the register's input positions. *)
+val set_reg_words : t -> int array -> reg:int -> words:int array -> unit
+
+(** [set_controls_words t buffer ~step ~mask] is the word-level
+    {!set_controls}: control lines are per-step FSM state, identical in
+    every lane, so each set line broadcasts [mask] (the active-lane
+    mask) and each clear line writes 0. *)
+val set_controls_words : t -> int array -> step:int -> mask:int -> unit
+
 (** [output_name ~reg ~bit] is the primary-output name of bit [bit] of
     register [reg]'s next value. *)
 val output_name : reg:int -> bit:int -> string

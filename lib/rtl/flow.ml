@@ -8,6 +8,7 @@ type config = {
   vectors : int;
   seed : string;
   check : bool;
+  engine : Sim.engine;
   model : Power.model;
   objective : Mapper.objective;
 }
@@ -19,6 +20,7 @@ let default_config =
     vectors = 1000;
     seed = "flow";
     check = true;
+    engine = Sim.Auto;
     model = Power.default_model;
     objective = Mapper.Min_sa;
   }
@@ -92,7 +94,12 @@ let run ?(checkpoint = fun _ -> ()) ?(config = default_config) ~design binding
   let network = mapping.Mapper.lut_network in
   checkpoint "sim";
   let sim_config =
-    { Sim.vectors = config.vectors; seed = config.seed; check = config.check }
+    {
+      Sim.vectors = config.vectors;
+      seed = config.seed;
+      check = config.check;
+      engine = config.engine;
+    }
   in
   let sim = Sim.run ~config:sim_config elab ~network in
   checkpoint "power";

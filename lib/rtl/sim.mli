@@ -9,6 +9,46 @@
     counted spurious transitions.  Every signal transition, functional or
     glitch, increments that signal's toggle counter.
 
+    {2 Engines}
+
+    Two engines compute the same result:
+
+    - {!run_scalar} — the reference oracle: one boolean per signal, one
+      vector at a time.
+    - {!run_parallel} — the bit-parallel engine: one machine word per
+      signal, packing [Sys.int_size] vectors into the lanes of each word
+      and evaluating every LUT with bitwise truth-table expansion
+      ({!Hlp_netlist.Truth_table.eval_words}).  Per-node toggle counts
+      are popcounts of the XOR between successive word values; the tail
+      batch masks its unused lanes, which idle at the network's
+      canonical (all-false-input) state.
+
+    The engines are {e bit-identical}: same [node_toggles],
+    [glitch_toggles], [total_toggles] and [cycles] for every
+    configuration (the differential test suite asserts this
+    exhaustively).  This holds because simulation is per-vector
+    independent and each unit-delay time step commits in two phases, so
+    a node's value at time [t] is a pure function of the network values
+    at [t - 1] — exactly what lane-wise word evaluation computes.
+
+    {2 Semantics}
+
+    Vectors are independent: every vector starts from the canonical
+    state — all registers 0, the network settled for the all-false input
+    assignment — and runs the full schedule.  The reset between vectors
+    is not a counted transition.  Within a cycle, a time bucket is
+    evaluated against the values as they stood when the bucket opened
+    and committed atomically (order-free two-phase semantics).
+
+    {2 Vector stream contract}
+
+    Both engines consume the same pseudo-random vector stream, generated
+    once per run by {!vector_stream}: a single {!Hlp_util.Rng} generator
+    created from [config.seed]; draws ordered vector-major, input-minor
+    (vector 0 input 0, vector 0 input 1, ..., vector 1 input 0, ...);
+    each draw [Rng.int rng (2^width)].  The stream is a pure function of
+    [(seed, vectors, num_inputs, width)].
+
     The simulated network may be the raw gate netlist or (normally) the
     technology-mapped LUT network: both expose the same primary inputs
     and next-value outputs, and the simulator checks its end-of-schedule
@@ -17,14 +57,35 @@
 
 module Nl = Hlp_netlist.Netlist
 
+(** Engine selection.  [Auto] defers to the [HLP_SIM_ENGINE] environment
+    variable (["auto"], ["scalar"], ["parallel"]), defaulting to
+    [Bit_parallel] when unset. *)
+type engine = Auto | Scalar | Bit_parallel
+
 type config = {
   vectors : int;  (** random input vectors (schedule executions) *)
   seed : string;  (** PRNG seed for the vector stream *)
   check : bool;  (** verify outputs against the golden CDFG evaluation *)
+  engine : engine;  (** which engine {!run} dispatches to *)
 }
 
-(** 1000 vectors (the paper's count), checked, fixed seed. *)
+(** 1000 vectors (the paper's count), checked, fixed seed, [Auto]
+    engine. *)
 val default_config : config
+
+(** [engine_of_string s] parses ["auto"], ["scalar"], ["parallel"] (also
+    accepted: ["bit-parallel"], ["bit_parallel"]); [None] otherwise. *)
+val engine_of_string : string -> engine option
+
+(** [engine_name e] is the canonical name: ["auto"], ["scalar"],
+    ["parallel"]. *)
+val engine_name : engine -> string
+
+(** [resolve_engine e] is the engine {!run} would dispatch to: [Scalar]
+    and [Bit_parallel] are themselves; [Auto] consults [HLP_SIM_ENGINE]
+    (default [Bit_parallel]).
+    @raise Failure if [HLP_SIM_ENGINE] names an unknown engine. *)
+val resolve_engine : engine -> engine
 
 type result = {
   node_toggles : int array;  (** per network node id *)
@@ -36,9 +97,27 @@ type result = {
   num_signals : int;  (** all nets: inputs + logic nodes *)
 }
 
-(** [run ~config elab ~network] simulates.  [network] must have the same
-    primary-input order and output names as [elab]'s netlist (the raw
-    netlist itself, or its mapped LUT network).
+(** [vector_stream ~seed ~vectors ~num_inputs ~mask] materializes the
+    shared input stream: [result.(v).(k)] is the value of primary input
+    [k] in vector [v], drawn vector-major, input-minor as
+    [Rng.int rng (mask + 1)] from one generator created with [seed].
+    Both engines consume exactly this stream. *)
+val vector_stream :
+  seed:string -> vectors:int -> num_inputs:int -> mask:int ->
+  int array array
+
+(** [run ~config elab ~network] simulates with the engine selected by
+    [config.engine] (resolving [Auto] through [HLP_SIM_ENGINE]).
+    [network] must have the same primary-input order and output names as
+    [elab]'s netlist (the raw netlist itself, or its mapped LUT network).
     @raise Failure if [config.check] is set and outputs diverge from the
-    golden model. *)
+    golden model, or if [HLP_SIM_ENGINE] names an unknown engine. *)
 val run : ?config:config -> Elaborate.t -> network:Nl.t -> result
+
+(** [run_scalar] forces the scalar oracle engine ([config.engine] is
+    ignored). *)
+val run_scalar : ?config:config -> Elaborate.t -> network:Nl.t -> result
+
+(** [run_parallel] forces the bit-parallel engine ([config.engine] is
+    ignored). *)
+val run_parallel : ?config:config -> Elaborate.t -> network:Nl.t -> result

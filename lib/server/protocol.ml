@@ -1,4 +1,6 @@
 module Diagnostic = Hlp_lint.Diagnostic
+module Cdfg = Hlp_cdfg.Cdfg
+module Sim = Hlp_rtl.Sim
 
 type bind_params = {
   bench : string;
@@ -7,6 +9,8 @@ type bind_params = {
   width : int;
   vectors : int;
   port_assign : bool;
+  engine : string;
+  graph : Cdfg.t option;
 }
 
 (* Defaults mirror the CLI bind command's option defaults. *)
@@ -18,7 +22,19 @@ let default_bind_params =
     width = 8;
     vectors = 100;
     port_assign = false;
+    engine = "auto";
+    graph = None;
   }
+
+(* Inline-graph admission limits, enforced before any per-element
+   validation so an oversized request costs O(1) work past the size
+   check itself.  The caps are far above every committed benchmark
+   (honda, the largest, has 105 ops) yet small enough that the worst
+   admitted graph schedules and binds in well under a deadline. *)
+let max_graph_ops = 4096
+let max_graph_inputs = 256
+let max_graph_outputs = 256
+let max_width = 30
 
 type explore_params = {
   ex_bench : string;
@@ -143,16 +159,45 @@ let json_of_diagnostic (d : Diagnostic.t) : Json.t =
       ("message", String d.message);
     ]
 
-let json_of_bind_params p : Json.t =
+let json_of_operand : Cdfg.operand -> Json.t = function
+  | Cdfg.Input k -> Obj [ ("input", Int k) ]
+  | Cdfg.Op j -> Obj [ ("op", Int j) ]
+
+let json_of_graph (g : Cdfg.t) : Json.t =
   Obj
     [
-      ("bench", String p.bench);
-      ("binder", String p.binder);
-      ("alpha", Float p.alpha);
-      ("width", Int p.width);
-      ("vectors", Int p.vectors);
-      ("port_assign", Bool p.port_assign);
+      ("name", String (Cdfg.name g));
+      ("inputs", Int (Cdfg.num_inputs g));
+      ( "ops",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (o : Cdfg.op) ->
+                  Json.Obj
+                    [
+                      ("kind", Json.String (Cdfg.kind_to_string o.kind));
+                      ("left", json_of_operand o.left);
+                      ("right", json_of_operand o.right);
+                    ])
+                (Cdfg.ops g))) );
+      ("outputs", List (List.map json_of_operand (Cdfg.outputs g)));
     ]
+
+let json_of_bind_params p : Json.t =
+  Json.Obj
+    ([
+       ("bench", Json.String p.bench);
+       ("binder", Json.String p.binder);
+       ("alpha", Json.Float p.alpha);
+       ("width", Json.Int p.width);
+       ("vectors", Json.Int p.vectors);
+       ("port_assign", Json.Bool p.port_assign);
+       ("engine", Json.String p.engine);
+     ]
+    @
+    match p.graph with
+    | None -> []
+    | Some g -> [ ("graph", json_of_graph g) ])
 
 let json_of_op op : (string * Json.t) list =
   let params : Json.t option =
@@ -237,6 +282,174 @@ type decode_error = {
   err_diagnostics : Diagnostic.t list;
 }
 
+(* Inline-graph admission.  An untrusted graph is validated in three
+   strictly ordered stages so that hostile input never reaches CDFG
+   construction: (1) size limits against the raw JSON (S007) — an
+   over-limit graph is rejected before any per-element work; (2)
+   per-element shape and reference checks (S003 for malformed elements,
+   S008 for self/forward/cyclic references and out-of-range indices,
+   each located at the offending op); (3) [Cdfg.create], whose
+   [Invalid_argument] is caught as a final S008 backstop.  Cycles are
+   detected for free: ops are identified by list position and an operand
+   may only name a {e smaller} op id, so any cycle necessarily contains
+   a forward or self reference. *)
+let decode_graph ~add v =
+  let ok = ref true in
+  let bad code loc fmt =
+    Printf.ksprintf
+      (fun m ->
+        ok := false;
+        add (Diagnostic.error code loc "%s" m))
+      fmt
+  in
+  match v with
+  | Json.Obj _ -> (
+      let name =
+        match Option.bind (Json.member "name" v) Json.to_string_opt with
+        | Some n when n <> "" -> n
+        | _ -> "inline"
+      in
+      let num_inputs =
+        match Option.bind (Json.member "inputs" v) Json.to_int with
+        | Some n when n >= 0 && n <= max_graph_inputs -> n
+        | Some n when n > max_graph_inputs ->
+            bad "S007" Design
+              "inline graph declares %d inputs; the limit is %d" n
+              max_graph_inputs;
+            0
+        | Some _ ->
+            bad "S003" Design "graph field \"inputs\" must be non-negative";
+            0
+        | None ->
+            bad "S003" Design
+              "graph field \"inputs\" must be a non-negative integer";
+            0
+      in
+      let ops_json =
+        match Option.bind (Json.member "ops" v) Json.to_list with
+        | Some l -> l
+        | None ->
+            bad "S003" Design "graph field \"ops\" must be a list";
+            []
+      in
+      let outs_json =
+        match Option.bind (Json.member "outputs" v) Json.to_list with
+        | Some l -> l
+        | None ->
+            bad "S003" Design "graph field \"outputs\" must be a list";
+            []
+      in
+      let num_ops = List.length ops_json in
+      if num_ops > max_graph_ops then
+        bad "S007" Design "inline graph has %d ops; the limit is %d" num_ops
+          max_graph_ops;
+      if List.length outs_json > max_graph_outputs then
+        bad "S007" Design "inline graph has %d outputs; the limit is %d"
+          (List.length outs_json) max_graph_outputs;
+      if !ok && num_ops = 0 then
+        bad "S003" Design "inline graph must contain at least one op";
+      if !ok && outs_json = [] then
+        bad "S003" Design "inline graph must name at least one output";
+      if not !ok then None
+      else begin
+        (* [bound] is the number of ops an operand may reference: the
+           op's own index while decoding ops (no self/forward edges),
+           [num_ops] for primary outputs. *)
+        let operand ~loc ~bound ov =
+          match (Json.member "input" ov, Json.member "op" ov) with
+          | Some iv, None -> (
+              match Json.to_int iv with
+              | Some k when k >= 0 && k < num_inputs -> Some (Cdfg.Input k)
+              | Some k ->
+                  bad "S008" loc
+                    "operand reads input %d, but the graph declares %d \
+                     inputs"
+                    k num_inputs;
+                  None
+              | None ->
+                  bad "S003" loc "operand field \"input\" must be an integer";
+                  None)
+          | None, Some jv -> (
+              match Json.to_int jv with
+              | Some j when j >= 0 && j < bound -> Some (Cdfg.Op j)
+              | Some j when j >= bound && j < num_ops ->
+                  bad "S008" loc
+                    "operand reads op %d before it is defined — ops must \
+                     be in dependency order, so cyclic graphs are \
+                     rejected here"
+                    j;
+                  None
+              | Some j ->
+                  bad "S008" loc
+                    "operand reads op %d, but the graph has %d ops" j
+                    num_ops;
+                  None
+              | None ->
+                  bad "S003" loc "operand field \"op\" must be an integer";
+                  None)
+          | _ ->
+              bad "S003" loc
+                "operand must be exactly one of {\"input\": k} or {\"op\": \
+                 j}";
+              None
+        in
+        let ops =
+          List.mapi
+            (fun i ov ->
+              let loc = Diagnostic.Op i in
+              let kind =
+                match
+                  Option.bind (Json.member "kind" ov) Json.to_string_opt
+                with
+                | Some "add" -> Some Cdfg.Add
+                | Some "sub" -> Some Cdfg.Sub
+                | Some "mult" -> Some Cdfg.Mult
+                | Some other ->
+                    bad "S003" loc
+                      "op kind %S is not \"add\", \"sub\" or \"mult\"" other;
+                    None
+                | None ->
+                    bad "S003" loc "op is missing a string \"kind\" field";
+                    None
+              in
+              let field name =
+                match Json.member name ov with
+                | Some (Json.Obj _ as o) -> operand ~loc ~bound:i o
+                | _ ->
+                    bad "S003" loc "op is missing operand object %S" name;
+                    None
+              in
+              match (kind, field "left", field "right") with
+              | Some kind, Some left, Some right ->
+                  Some { Cdfg.id = i; kind; left; right }
+              | _ -> None)
+            ops_json
+        in
+        let outputs =
+          List.map
+            (fun ov ->
+              match ov with
+              | Json.Obj _ -> operand ~loc:Design ~bound:num_ops ov
+              | _ ->
+                  bad "S003" Design
+                    "graph output must be an operand object";
+                  None)
+            outs_json
+        in
+        if not !ok then None
+        else
+          let ops = List.filter_map Fun.id ops in
+          let outputs = List.filter_map Fun.id outputs in
+          match Cdfg.create ~name ~num_inputs ~ops ~outputs with
+          | cdfg -> Some cdfg
+          | exception Invalid_argument msg ->
+              bad "S008" Design "%s" msg;
+              None
+      end)
+  | _ ->
+      bad "S003" Design "parameter \"graph\" must be an object";
+      None
+
 let decode_request line =
   match Json.parse line with
   | Error (pos, msg) ->
@@ -296,6 +509,29 @@ let decode_request line =
       in
       let bind_params () =
         let d = default_bind_params in
+        let graph_given =
+          match Json.member "graph" params with
+          | None | Some Json.Null -> false
+          | Some _ -> true
+        in
+        let graph =
+          match Json.member "graph" params with
+          | None | Some Json.Null -> None
+          | Some v ->
+              decode_graph
+                ~add:(fun diag -> problems := diag :: !problems)
+                v
+        in
+        let engine =
+          let s = field "engine" Json.to_string_opt ~default:d.engine in
+          match Sim.engine_of_string s with
+          | Some e -> Sim.engine_name e
+          | None ->
+              problem
+                "parameter \"engine\" must be \"auto\", \"scalar\" or \
+                 \"parallel\"";
+              d.engine
+        in
         let p =
           {
             bench = field "bench" Json.to_string_opt ~default:d.bench;
@@ -304,13 +540,24 @@ let decode_request line =
             width = pos_int "width" ~default:d.width;
             vectors = pos_int "vectors" ~default:d.vectors;
             port_assign = field "port_assign" Json.to_bool ~default:false;
+            engine;
+            graph;
           }
         in
-        if p.bench = "" then problem "parameter \"bench\" is required";
+        if graph_given then begin
+          if p.bench <> "" then
+            problem
+              "parameters \"bench\" and \"graph\" are mutually exclusive"
+        end
+        else if p.bench = "" then
+          problem "parameter \"bench\" or \"graph\" is required";
         if not (p.binder = "hlpower" || p.binder = "lopass") then
           problem "parameter \"binder\" must be \"hlpower\" or \"lopass\"";
         if not (Float.is_finite p.alpha && p.alpha >= 0. && p.alpha <= 1.)
         then problem "parameter \"alpha\" must be within [0, 1]";
+        if p.width > max_width then
+          problem "parameter \"width\" must be within 1..%d (got %d)"
+            max_width p.width;
         p
       in
       let int_list name ~default =

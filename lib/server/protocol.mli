@@ -37,25 +37,72 @@
     Error codes: [parse_error] (S001 — frame is not a JSON object; the
     diagnostic's [loc] is the byte offset and its message quotes the
     offending line), [unknown_op] (S002), [bad_request] (S003 — bad
-    parameter, unknown benchmark/binder), [frame_too_large],
-    [overloaded] (bounded queue full — retry later), [deadline_exceeded]
-    (the request's deadline expired before or during execution),
-    [draining] (daemon is shutting down; accepted work still completes),
-    [internal]. *)
+    parameter, unknown benchmark/binder; S007 — inline graph over an
+    admission size limit; S008 — inline graph with a self, forward or
+    cyclic reference, or an out-of-range input/op index),
+    [frame_too_large], [overloaded] (bounded queue full — retry later),
+    [deadline_exceeded] (the request's deadline expired before or during
+    execution), [draining] (daemon is shutting down; accepted work still
+    completes), [internal].
+
+    {2 Inline graphs}
+
+    [bind] and [flow] accept an inline CDFG instead of a named
+    benchmark (the two are mutually exclusive):
+
+    {v
+    {"op": "flow",
+     "params": {"width": 8, "engine": "parallel",
+                "graph": {"name": "mine", "inputs": 3,
+                          "ops": [{"kind": "add",
+                                   "left": {"input": 0},
+                                   "right": {"input": 1}},
+                                  {"kind": "mult",
+                                   "left": {"op": 0},
+                                   "right": {"input": 2}}],
+                          "outputs": [{"op": 1}]}}}
+    v}
+
+    Ops are identified by list position and an operand may only
+    reference a {e smaller} op id, so the wire format cannot express a
+    cycle without containing a self or forward reference — which is
+    exactly what the validator rejects (S008).  Size limits
+    ({!max_graph_ops}, {!max_graph_inputs}, {!max_graph_outputs}) are
+    enforced against the raw JSON before any per-element validation
+    (S007), so oversized hostile graphs are turned away in O(size of
+    the frame). *)
 
 module Diagnostic = Hlp_lint.Diagnostic
 
 (** Parameters of [bind] and [flow] — the CLI [bind] options. *)
 type bind_params = {
-  bench : string;
+  bench : string;  (** named benchmark; [""] when [graph] is given *)
   binder : string;  (** ["hlpower"] or ["lopass"] *)
   alpha : float;
-  width : int;
+  width : int;  (** datapath bit width, within [1..max_width] *)
   vectors : int;
   port_assign : bool;
+  engine : string;
+      (** simulation engine, canonicalized to ["auto"], ["scalar"] or
+          ["parallel"] (see {!Hlp_rtl.Sim.engine_of_string}) *)
+  graph : Hlp_cdfg.Cdfg.t option;
+      (** inline CDFG, mutually exclusive with [bench] *)
 }
 
 val default_bind_params : bind_params
+
+(** Admission limits for inline graphs, and the width cap; requests
+    beyond them are rejected with S007 (sizes) / S003 (width) before
+    any expensive work. *)
+val max_graph_ops : int
+
+val max_graph_inputs : int
+val max_graph_outputs : int
+val max_width : int
+
+(** [json_of_graph g] is the wire encoding of an inline graph —
+    {!decode_request} parses it back to an equal CDFG. *)
+val json_of_graph : Hlp_cdfg.Cdfg.t -> Json.t
 
 (** Parameters of [explore] — the CLI [explore] options plus the sweep
     grid. *)
@@ -151,7 +198,8 @@ type decode_error = {
 (** [decode_request line] validates [line] into a request.  All
     problems are collected: the error side carries one diagnostic per
     offense (S001 malformed JSON, S002 unknown/missing op, S003 bad
-    parameter), never just the first. *)
+    parameter, S007 oversized inline graph, S008 ill-formed inline
+    graph reference), never just the first. *)
 val decode_request : string -> (request, decode_error) result
 
 val encode_reply : reply -> string

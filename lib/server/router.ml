@@ -94,15 +94,33 @@ let unknown_bench bench =
             Benchmarks.all));
   ]
 
+(* Inline graphs carry no Table 2 resource profile, so they are
+   scheduled unconstrained (ASAP) and both binders run against the
+   schedule's own density — the minimal feasible allocation. *)
+let prepare_inline cdfg =
+  let resources _ = max 1 (Cdfg.num_ops cdfg) in
+  let schedule = Schedule.list_schedule cdfg ~resources in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  (schedule, regs)
+
 let bind_binding t ~checkpoint (p : Protocol.bind_params) =
-  let profile, schedule, regs = prepare p.bench in
+  let design_base, schedule, regs, lopass_resources =
+    match p.graph with
+    | Some cdfg ->
+        let schedule, regs = prepare_inline cdfg in
+        ( Cdfg.name cdfg,
+          schedule,
+          regs,
+          fun cls -> max 1 (Schedule.max_density schedule cls) )
+    | None ->
+        let profile, schedule, regs = prepare p.bench in
+        (p.bench, schedule, regs, Benchmarks.resources profile)
+  in
   checkpoint "bind";
   match p.binder with
   | "lopass" ->
-      let b =
-        Lopass.bind ~regs ~resources:(Benchmarks.resources profile) schedule
-      in
-      (schedule, regs, b, None)
+      let b = Lopass.bind ~regs ~resources:lopass_resources schedule in
+      (design_base, schedule, regs, b, None)
   | _ ->
       let sa_table = sa_table t ~width:p.width ~k:4 in
       let params = Hlpower.calibrate ~alpha:p.alpha sa_table in
@@ -111,7 +129,7 @@ let bind_binding t ~checkpoint (p : Protocol.bind_params) =
           ~resources:(fun cls -> max 1 (Schedule.max_density schedule cls))
           schedule
       in
-      (schedule, regs, r.Hlpower.binding, Some r)
+      (design_base, schedule, regs, r.Hlpower.binding, Some r)
 
 let apply_port_assign (p : Protocol.bind_params) binding =
   if p.port_assign then Hlp_core.Port_assign.optimize binding else binding
@@ -128,13 +146,15 @@ let mux_stats_json (s : Binding.mux_stats) : Json.t =
     ]
 
 let handle_bind t ~checkpoint (p : Protocol.bind_params) =
-  let schedule, regs, binding, hlp = bind_binding t ~checkpoint p in
+  let design_base, schedule, regs, binding, hlp =
+    bind_binding t ~checkpoint p
+  in
   let binding = apply_port_assign p binding in
   Binding.validate binding;
   let stats = Binding.mux_stats binding in
   Json.Obj
     ([
-       ("design", Json.String (p.bench ^ "-" ^ p.binder));
+       ("design", Json.String (design_base ^ "-" ^ p.binder));
        ("csteps", Json.Int schedule.Schedule.num_csteps);
        ("regs", Json.Int (Reg_binding.num_regs regs));
        ( "add_fus",
@@ -153,14 +173,26 @@ let handle_bind t ~checkpoint (p : Protocol.bind_params) =
         ])
 
 let handle_flow t ~checkpoint (p : Protocol.bind_params) =
-  let _, _, binding, _ = bind_binding t ~checkpoint p in
+  let design_base, _, _, binding, _ = bind_binding t ~checkpoint p in
   let binding = apply_port_assign p binding in
   Binding.validate binding;
+  (* The decoder canonicalized [p.engine], so parsing cannot fail here;
+     fall back to [Auto] all the same rather than crash the worker. *)
+  let engine =
+    Option.value ~default:Hlp_rtl.Sim.Auto
+      (Hlp_rtl.Sim.engine_of_string p.engine)
+  in
   let config =
-    { Flow.default_config with Flow.width = p.width; vectors = p.vectors }
+    {
+      Flow.default_config with
+      Flow.width = p.width;
+      vectors = p.vectors;
+      engine;
+    }
   in
   let report =
-    Flow.run ~checkpoint ~config ~design:(p.bench ^ "-" ^ p.binder) binding
+    Flow.run ~checkpoint ~config ~design:(design_base ^ "-" ^ p.binder)
+      binding
   in
   (* Raw keeps the report byte-identical to the CLI's HLP_BENCH_JSON
      rendering — the "concurrent daemon equals sequential CLI"

@@ -1,0 +1,27 @@
+let lanes = Sys.int_size
+
+let mask_lanes n =
+  if n < 0 then invalid_arg "Bits.mask_lanes: negative lane count";
+  if n >= lanes then -1 else (1 lsl n) - 1
+
+let broadcast b mask = if b then mask else 0
+
+(* 16-bit lookup table: 4 table reads per word.  The usual SWAR masks
+   (0x5555...5555 etc.) are 64-bit literals that do not fit OCaml's
+   63-bit int, and Int64 boxing on the hot path would cost more than the
+   64 KiB table. *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count n acc = if n = 0 then acc else count (n lsr 1) (acc + (n land 1)) in
+    Bytes.unsafe_set t i (Char.chr (count i 0))
+  done;
+  t
+
+let popcount w =
+  (* [lsr] is a logical shift, so a negative word contributes its sign
+     bit through the top chunk rather than smearing it. *)
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (w lsr 48))

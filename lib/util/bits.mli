@@ -1,0 +1,24 @@
+(** Word-level bit utilities for the bit-parallel simulation engines.
+
+    A machine word packs one boolean per {e lane}; lane [l] of every word
+    belongs to the same simulation vector, so bitwise operations evaluate
+    all lanes of a signal at once.  The word type is the native OCaml
+    [int], which carries {!lanes} usable bits (63 on a 64-bit platform —
+    one bit is the tag), so SWAR constants that assume 64-bit words do
+    not apply; {!popcount} uses a 16-bit lookup table instead. *)
+
+(** Number of usable lanes per word ([Sys.int_size]). *)
+val lanes : int
+
+(** [mask_lanes n] has the low [n] lanes set ([n >= lanes] gives the
+    full mask, [-1]).
+    @raise Invalid_argument if [n < 0]. *)
+val mask_lanes : int -> int
+
+(** [broadcast b mask] is [mask] when [b], else [0]: the word whose
+    active lanes all carry [b]. *)
+val broadcast : bool -> int -> int
+
+(** [popcount w] counts set bits, treating [w] as an unsigned
+    [Sys.int_size]-bit word (so [popcount (-1) = lanes]). *)
+val popcount : int -> int

@@ -69,7 +69,7 @@ let test_dct4_simulates () =
   let b = bind (Benchmarks.dct4 ()) in
   let dp = Datapath.build ~width:6 b in
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 15; seed = "dct4"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 15; seed = "dct4" } in
   let r = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_bool "ran with golden checks" true (r.Sim.total_toggles > 0)
 
@@ -84,7 +84,7 @@ let test_biquad_simulates () =
   let b = bind (Benchmarks.biquad ()) in
   let dp = Datapath.build ~width:7 b in
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 15; seed = "bq"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 15; seed = "bq" } in
   let r = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_bool "ran with golden checks" true (r.Sim.total_toggles > 0)
 

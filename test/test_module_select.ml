@@ -190,7 +190,7 @@ let test_module_select_end_to_end () =
   let dp = Datapath.build ~adder_impls:impls ~width:5 b in
   Datapath.validate dp;
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 8; seed = "ms"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 8; seed = "ms" } in
   let r = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_bool "simulated with checks" true (r.Sim.total_toggles > 0)
 

@@ -81,7 +81,7 @@ let test_swapped_binding_still_simulates_correctly () =
   let dp = Datapath.build ~width:5 b in
   Datapath.validate dp;
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 10; seed = "pa"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 10; seed = "pa" } in
   let r = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_bool "simulated with checks" true (r.Sim.total_toggles > 0)
 

@@ -111,6 +111,7 @@ let all_requests =
       op =
         P.Bind
           {
+            P.default_bind_params with
             P.bench = "pr";
             binder = "lopass";
             alpha = 1.0;
@@ -301,6 +302,198 @@ let test_bad_deadline () =
   let e = decode_err "{\"id\": 3, \"op\": \"stats\", \"deadline_ms\": -5}" in
   check "negative deadline rejected" true (e.P.err_code = P.Bad_request)
 
+(* --- hostile inline graphs: structured S-diagnostics, never crashes --- *)
+
+let has_code e code =
+  List.exists (fun d -> d.Diagnostic.code = code) e.P.err_diagnostics
+
+let graph_req body =
+  Printf.sprintf "{\"id\": 1, \"op\": \"bind\", \"params\": {\"graph\": %s}}"
+    body
+
+let decode_ok line =
+  match P.decode_request line with
+  | Ok r -> r
+  | Error e ->
+      Alcotest.failf "%s rejected: %s" line
+        (String.concat "; "
+           (List.map (fun d -> d.Diagnostic.message) e.P.err_diagnostics))
+
+(* A well-formed inline graph round-trips through the encoder and is
+   accepted. *)
+let test_graph_roundtrip () =
+  let g =
+    Hlp_cdfg.Cdfg.create ~name:"mine" ~num_inputs:3
+      ~ops:
+        [
+          { Hlp_cdfg.Cdfg.id = 0; kind = Hlp_cdfg.Cdfg.Add;
+            left = Hlp_cdfg.Cdfg.Input 0; right = Hlp_cdfg.Cdfg.Input 1 };
+          { Hlp_cdfg.Cdfg.id = 1; kind = Hlp_cdfg.Cdfg.Mult;
+            left = Hlp_cdfg.Cdfg.Op 0; right = Hlp_cdfg.Cdfg.Input 2 };
+        ]
+      ~outputs:[ Hlp_cdfg.Cdfg.Op 1 ]
+  in
+  let req =
+    {
+      P.id = Json.Int 11;
+      deadline_ms = None;
+      op =
+        P.Flow
+          { P.default_bind_params with P.graph = Some g; engine = "scalar" };
+    }
+  in
+  let line = P.encode_request req in
+  match P.decode_request line with
+  | Ok req' -> check "graph request round trips" true (req = req')
+  | Error _ -> Alcotest.failf "%s failed to decode" line
+
+(* A cycle cannot be expressed without a self or forward reference, and
+   either earns an S008. *)
+let test_graph_cyclic () =
+  let e =
+    decode_err
+      (graph_req
+         "{\"inputs\": 1, \"ops\": [{\"kind\": \"add\", \"left\": {\"op\": \
+          1}, \"right\": {\"input\": 0}}, {\"kind\": \"add\", \"left\": \
+          {\"op\": 0}, \"right\": {\"input\": 0}}], \"outputs\": [{\"op\": \
+          1}]}")
+  in
+  check "cyclic graph is bad_request" true (e.P.err_code = P.Bad_request);
+  check "cyclic graph -> S008" true (has_code e "S008")
+
+let test_graph_self_reference () =
+  let e =
+    decode_err
+      (graph_req
+         "{\"inputs\": 1, \"ops\": [{\"kind\": \"add\", \"left\": {\"op\": \
+          0}, \"right\": {\"input\": 0}}], \"outputs\": [{\"op\": 0}]}")
+  in
+  check "self reference -> S008" true (has_code e "S008")
+
+let test_graph_bad_input_index () =
+  let e =
+    decode_err
+      (graph_req
+         "{\"inputs\": 2, \"ops\": [{\"kind\": \"mult\", \"left\": \
+          {\"input\": 2}, \"right\": {\"input\": -1}}], \"outputs\": \
+          [{\"op\": 0}]}")
+  in
+  check "bad input index -> S008" true (has_code e "S008");
+  (* Both offenses are collected. *)
+  check_i "one S008 per bad operand" 2
+    (List.length
+       (List.filter
+          (fun d -> d.Diagnostic.code = "S008")
+          e.P.err_diagnostics))
+
+let test_graph_oversized () =
+  (* One op over the admission limit: rejected with S007 before any
+     per-op validation (the ops here are deliberately ill-formed — the
+     size check must fire without ever looking at them). *)
+  let ops =
+    String.concat ","
+      (List.init (P.max_graph_ops + 1) (fun _ -> "{\"bogus\": true}"))
+  in
+  let e =
+    decode_err
+      (graph_req
+         (Printf.sprintf
+            "{\"inputs\": 1, \"ops\": [%s], \"outputs\": [{\"op\": 0}]}" ops))
+  in
+  check "oversized graph is bad_request" true (e.P.err_code = P.Bad_request);
+  check "oversized graph -> S007" true (has_code e "S007");
+  check "size limit short-circuits per-op checks" true
+    (not (has_code e "S003"));
+  (* Too many declared inputs is the same class of rejection. *)
+  let e =
+    decode_err
+      (graph_req
+         (Printf.sprintf
+            "{\"inputs\": %d, \"ops\": [{\"kind\": \"add\", \"left\": \
+             {\"input\": 0}, \"right\": {\"input\": 1}}], \"outputs\": \
+             [{\"op\": 0}]}"
+            (P.max_graph_inputs + 1)))
+  in
+  check "too many inputs -> S007" true (has_code e "S007")
+
+let test_graph_at_limit_accepted () =
+  (* Exactly at the admission limits the request is valid: a chain of
+     max_graph_ops adds over max_graph_inputs inputs. *)
+  let n = P.max_graph_ops in
+  let ops =
+    String.concat ","
+      (List.init n (fun i ->
+           if i = 0 then
+             "{\"kind\": \"add\", \"left\": {\"input\": 0}, \"right\": \
+              {\"input\": 1}}"
+           else
+             Printf.sprintf
+               "{\"kind\": \"add\", \"left\": {\"op\": %d}, \"right\": \
+                {\"input\": %d}}"
+               (i - 1)
+               (i mod P.max_graph_inputs)))
+  in
+  let req =
+    decode_ok
+      (graph_req
+         (Printf.sprintf
+            "{\"inputs\": %d, \"ops\": [%s], \"outputs\": [{\"op\": %d}]}"
+            P.max_graph_inputs ops (n - 1)))
+  in
+  match req.P.op with
+  | P.Bind { P.graph = Some g; _ } ->
+      check_i "all ops admitted" n (Hlp_cdfg.Cdfg.num_ops g)
+  | _ -> Alcotest.fail "expected a bind op carrying the graph"
+
+let test_graph_excludes_bench () =
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+       \"graph\": {\"inputs\": 1, \"ops\": [{\"kind\": \"add\", \"left\": \
+       {\"input\": 0}, \"right\": {\"input\": 0}}], \"outputs\": [{\"op\": \
+       0}]}}}"
+  in
+  check "bench+graph rejected" true (e.P.err_code = P.Bad_request);
+  check "mutual exclusion is S003" true (has_code e "S003")
+
+let test_width_capped () =
+  (* A 64-bit request would overflow the packed simulation words; the
+     width cap rejects it up front with S003. *)
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+       \"width\": 64}}"
+  in
+  check "width 64 rejected" true (e.P.err_code = P.Bad_request);
+  check "width cap is S003" true (has_code e "S003")
+
+let test_bad_engine () =
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+       \"engine\": \"quantum\"}}"
+  in
+  check "unknown engine rejected" true (e.P.err_code = P.Bad_request);
+  check "engine error is S003" true (has_code e "S003")
+
+let test_engine_accepted () =
+  List.iter
+    (fun (wire, canonical) ->
+      let req =
+        decode_ok
+          (Printf.sprintf
+             "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+              \"engine\": %S}}"
+             wire)
+      in
+      match req.P.op with
+      | P.Flow p -> check_s ("engine " ^ wire) canonical p.P.engine
+      | _ -> Alcotest.fail "expected flow")
+    [
+      ("auto", "auto"); ("scalar", "scalar"); ("parallel", "parallel");
+      ("bit-parallel", "parallel");
+    ]
+
 (* --- framing --- *)
 
 let with_pipe f =
@@ -434,6 +627,19 @@ let suite =
       test_bad_params_collected;
     Alcotest.test_case "bind requires bench" `Quick test_bind_requires_bench;
     Alcotest.test_case "bad deadline" `Quick test_bad_deadline;
+    Alcotest.test_case "inline graph round trip" `Quick test_graph_roundtrip;
+    Alcotest.test_case "cyclic graph -> S008" `Quick test_graph_cyclic;
+    Alcotest.test_case "self reference -> S008" `Quick
+      test_graph_self_reference;
+    Alcotest.test_case "bad input index -> S008" `Quick
+      test_graph_bad_input_index;
+    Alcotest.test_case "oversized graph -> S007" `Quick test_graph_oversized;
+    Alcotest.test_case "at-limit graph accepted" `Quick
+      test_graph_at_limit_accepted;
+    Alcotest.test_case "graph excludes bench" `Quick test_graph_excludes_bench;
+    Alcotest.test_case "width capped" `Quick test_width_capped;
+    Alcotest.test_case "bad engine -> S003" `Quick test_bad_engine;
+    Alcotest.test_case "engine names accepted" `Quick test_engine_accepted;
     Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
     Alcotest.test_case "partial frame at eof" `Quick test_partial_frame_at_eof;
     Alcotest.test_case "oversized frame rejected" `Quick

@@ -84,7 +84,7 @@ let run_gate_sim ?(vectors = 20) ~width cdfg =
   Datapath.validate dp;
   let elab = Elaborate.elaborate dp in
   Nl.validate elab.Elaborate.netlist;
-  let config = { Sim.vectors; seed = "t"; check = true } in
+  let config = { Sim.default_config with Sim.vectors; seed = "t" } in
   Sim.run ~config elab ~network:elab.Elaborate.netlist
 
 let test_sim_gate_level_fig1 () =
@@ -107,7 +107,7 @@ let test_sim_gate_level_wang () =
   let b = Lopass.bind ~regs ~resources:(Benchmarks.resources p) schedule in
   let dp = Datapath.build ~width:4 b in
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 5; seed = "wang"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 5; seed = "wang" } in
   let r = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_bool "ran" true (r.Sim.cycles > 0)
 
@@ -119,7 +119,7 @@ let test_sim_lut_level_fir () =
   let elab = Elaborate.elaborate dp in
   let mapping = Hlp_mapper.Mapper.map elab.Elaborate.netlist ~k:4 in
   Hlp_mapper.Mapper.check_cover mapping;
-  let config = { Sim.vectors = 30; seed = "lut"; check = true } in
+  let config = { Sim.default_config with Sim.vectors = 30; seed = "lut" } in
   let r = Sim.run ~config elab ~network:mapping.Hlp_mapper.Mapper.lut_network in
   check_bool "simulated" true (r.Sim.total_toggles > 0)
 
@@ -127,7 +127,7 @@ let test_sim_deterministic () =
   let b = bind_cdfg (Benchmarks.fir ~taps:3) in
   let dp = Datapath.build ~width:4 b in
   let elab = Elaborate.elaborate dp in
-  let config = { Sim.vectors = 10; seed = "same"; check = false } in
+  let config = { Sim.default_config with Sim.vectors = 10; seed = "same"; check = false } in
   let r1 = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   let r2 = Sim.run ~config elab ~network:elab.Elaborate.netlist in
   check_int "same toggles" r1.Sim.total_toggles r2.Sim.total_toggles
@@ -141,7 +141,7 @@ let test_power_monotone_in_toggles () =
   let elab = Elaborate.elaborate dp in
   let net = elab.Elaborate.netlist in
   let run vectors =
-    let config = { Sim.vectors; seed = "p"; check = false } in
+    let config = { Sim.default_config with Sim.vectors; seed = "p"; check = false } in
     let sim = Sim.run ~config elab ~network:net in
     Power.analyze model ~network:net ~sim
   in

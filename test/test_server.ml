@@ -324,6 +324,89 @@ let test_disconnect_before_reply_isolated () =
             | Error e -> Alcotest.failf "request %d transport error: %s" i e
           done))
 
+(* --- hostile inline graphs over the wire: structured S-diagnostics,
+   and the connection survives the rejection --- *)
+
+let inline_diamond () =
+  Hlp_cdfg.Cdfg.create ~name:"wire" ~num_inputs:2
+    ~ops:
+      [
+        { Hlp_cdfg.Cdfg.id = 0; kind = Hlp_cdfg.Cdfg.Add;
+          left = Hlp_cdfg.Cdfg.Input 0; right = Hlp_cdfg.Cdfg.Input 1 };
+        { Hlp_cdfg.Cdfg.id = 1; kind = Hlp_cdfg.Cdfg.Mult;
+          left = Hlp_cdfg.Cdfg.Op 0; right = Hlp_cdfg.Cdfg.Input 0 };
+      ]
+    ~outputs:[ Hlp_cdfg.Cdfg.Op 1 ]
+
+let inline_flow ~engine =
+  P.Flow
+    { P.default_bind_params with
+      P.graph = Some (inline_diamond ()); width = 4; vectors = 40; engine }
+
+let test_hostile_graph_over_wire () =
+  with_server ~workers:1 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* A cyclic "DAG" (op 0 reads op 1, op 1 reads op 0) cannot be
+             built client-side, so it goes over the wire raw. *)
+          Client.send_raw c
+            "{\"id\": 1, \"op\": \"flow\", \"params\": {\"graph\": \
+             {\"inputs\": 1, \"ops\": [{\"kind\": \"add\", \"left\": \
+             {\"op\": 1}, \"right\": {\"input\": 0}}, {\"kind\": \"add\", \
+             \"left\": {\"op\": 0}, \"right\": {\"input\": 0}}], \
+             \"outputs\": [{\"op\": 1}]}}}";
+          (match Client.recv c with
+          | Ok { P.payload = P.Error { code; diagnostics; _ }; _ } ->
+              check "cyclic graph -> bad_request" true
+                (code = P.Bad_request);
+              check "reply carries S008" true
+                (List.exists
+                   (fun d -> d.P.Diagnostic.code = "S008")
+                   diagnostics)
+          | Ok { P.payload = P.Result _; _ } ->
+              Alcotest.fail "cyclic graph was accepted"
+          | Error e -> Alcotest.failf "transport error: %s" e);
+          (* Width beyond the cap is refused the same way. *)
+          Client.send_raw c
+            "{\"id\": 2, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+             \"width\": 64}}";
+          check "width 64 -> bad_request" true
+            (error_code (Client.recv c) = Some P.Bad_request);
+          (* The rejections did not poison the connection: a valid
+             inline graph on the same stream completes. *)
+          let r =
+            Client.request c
+              {
+                P.id = Json.Int 3;
+                deadline_ms = None;
+                op = inline_flow ~engine:"auto";
+              }
+          in
+          check "valid inline graph ok after rejections" true (is_ok r)))
+
+let test_inline_graph_engines_identical () =
+  (* The daemon pipeline threads the engine knob through to the
+     simulator; both engines must produce byte-identical flow reports
+     for the same inline graph. *)
+  with_server ~workers:1 (fun socket _server ->
+      let frame engine =
+        raw_request socket
+          { P.id = Json.Int 1; deadline_ms = None; op = inline_flow ~engine }
+      in
+      let scalar = raw_result_of_frame (frame "scalar") in
+      let parallel = raw_result_of_frame (frame "parallel") in
+      check_s "scalar == parallel over the wire" scalar parallel;
+      check "report names the inline graph" true
+        (let sub = "\"design\": \"wire-hlpower\"" in
+         let n = String.length sub in
+         let rec go i =
+           i + n <= String.length scalar
+           && (String.sub scalar i n = sub || go (i + 1))
+         in
+         go 0))
+
 (* --- graceful drain: every accepted request gets its reply --- *)
 
 let test_drain_completes_accepted () =
@@ -407,6 +490,10 @@ let suite =
     Alcotest.test_case "stats inline under load" `Quick test_stats_inline;
     Alcotest.test_case "disconnect before reply stays isolated" `Quick
       test_disconnect_before_reply_isolated;
+    Alcotest.test_case "hostile graph over the wire" `Quick
+      test_hostile_graph_over_wire;
+    Alcotest.test_case "inline graph engines identical" `Quick
+      test_inline_graph_engines_identical;
     Alcotest.test_case "drain completes accepted work" `Quick
       test_drain_completes_accepted;
     Alcotest.test_case "draining refuses new work" `Quick

@@ -1,0 +1,347 @@
+(* Differential tests of the bit-parallel LUT simulation engine against
+   the scalar oracle: random CDFGs, awkward vector counts (0, 1, one
+   lane, one lane +/- 1, non-multiples of the lane width) and random
+   seeds must produce bit-identical results; pinned regressions freeze
+   the exact toggle counts and the PRNG vector-stream contract so any
+   behavioural drift in either engine fails loudly. *)
+
+module Cdfg = Hlp_cdfg.Cdfg
+module Schedule = Hlp_cdfg.Schedule
+module Lifetime = Hlp_cdfg.Lifetime
+module Reg_binding = Hlp_core.Reg_binding
+module Hlpower = Hlp_core.Hlpower
+module Sa_table = Hlp_core.Sa_table
+module Datapath = Hlp_rtl.Datapath
+module Elaborate = Hlp_rtl.Elaborate
+module Sim = Hlp_rtl.Sim
+module Mapper = Hlp_mapper.Mapper
+module Nl = Hlp_netlist.Netlist
+module Tt = Hlp_netlist.Truth_table
+module Switching = Hlp_activity.Switching
+module Bits = Hlp_util.Bits
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sa_table = Sa_table.create ~width:4 ~k:4 ()
+
+(* --- harness -------------------------------------------------------- *)
+
+(* A random but always-valid CDFG: ops in id order, operands drawn from
+   earlier ops (biased toward op results so graphs get deep enough to
+   glitch) or primary inputs, outputs from the last op plus one random
+   op. *)
+let random_cdfg st ~num_inputs ~num_ops =
+  let operand i =
+    if i > 0 && Random.State.int st 5 < 3 then
+      Cdfg.Op (Random.State.int st i)
+    else Cdfg.Input (Random.State.int st num_inputs)
+  in
+  let ops =
+    List.init num_ops (fun i ->
+        let kind =
+          match Random.State.int st 3 with
+          | 0 -> Cdfg.Add
+          | 1 -> Cdfg.Sub
+          | _ -> Cdfg.Mult
+        in
+        { Cdfg.id = i; kind; left = operand i; right = operand i })
+  in
+  let outputs =
+    [ Cdfg.Op (num_ops - 1); Cdfg.Op (Random.State.int st num_ops) ]
+  in
+  Cdfg.create ~name:"qsim" ~num_inputs ~ops ~outputs
+
+let elab_of ~width cdfg =
+  let schedule =
+    Schedule.list_schedule cdfg
+      ~resources:(fun _ -> max 1 (Cdfg.num_ops cdfg))
+  in
+  let regs = Reg_binding.bind (Lifetime.analyze schedule) in
+  let min_res cls = max 1 (Schedule.max_density schedule cls) in
+  let binding =
+    (Hlpower.bind ~sa_table ~regs ~resources:min_res schedule)
+      .Hlpower.binding
+  in
+  Elaborate.elaborate (Datapath.build ~width binding)
+
+let assert_same tag (rs : Sim.result) (rp : Sim.result) =
+  check_int (tag ^ ": total_toggles") rs.Sim.total_toggles
+    rp.Sim.total_toggles;
+  check_int (tag ^ ": glitch_toggles") rs.Sim.glitch_toggles
+    rp.Sim.glitch_toggles;
+  check_int (tag ^ ": cycles") rs.Sim.cycles rp.Sim.cycles;
+  check_int (tag ^ ": num_signals") rs.Sim.num_signals rp.Sim.num_signals;
+  check_bool (tag ^ ": node_toggles") true
+    (rs.Sim.node_toggles = rp.Sim.node_toggles)
+
+(* Vector counts that stress the word packing: empty, one lane, exactly
+   one word, one word +/- one lane, and non-multiples of the lane
+   count. *)
+let vector_choices = [| 0; 1; 2; Bits.lanes; Bits.lanes + 1; 64; 100; 130 |]
+
+(* --- differential properties ---------------------------------------- *)
+
+let prop_sim_differential =
+  QCheck.Test.make
+    ~name:"glitch sim: scalar oracle = bit-parallel (random CDFGs)"
+    ~count:20
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 4) (int_range 1 10)
+        (int_range 0 (Array.length vector_choices - 1)))
+    (fun (seed, num_inputs, num_ops, vi) ->
+      let st = Random.State.make [| seed; num_inputs; num_ops |] in
+      let cdfg = random_cdfg st ~num_inputs ~num_ops in
+      let width = 1 + (seed mod 4) in
+      let elab = elab_of ~width cdfg in
+      (* Alternate between the raw gate netlist and the mapped LUT
+         network — both are simulated in production. *)
+      let network =
+        if seed mod 2 = 0 then elab.Elaborate.netlist
+        else (Mapper.map elab.Elaborate.netlist ~k:4).Mapper.lut_network
+      in
+      let config =
+        {
+          Sim.default_config with
+          Sim.vectors = vector_choices.(vi);
+          seed = Printf.sprintf "q%d" seed;
+        }
+      in
+      (* config.check stays on: the golden-model check must pass under
+         both engines. *)
+      let rs = Sim.run_scalar ~config elab ~network in
+      let rp = Sim.run_parallel ~config elab ~network in
+      rs = rp)
+
+let prop_monte_carlo_differential =
+  QCheck.Test.make
+    ~name:"monte carlo SA: scalar oracle = bit-parallel (random netlists)"
+    ~count:15
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 4) (int_range 1 8)
+        (int_range 1 (Array.length vector_choices - 1)))
+    (fun (seed, num_inputs, num_ops, vi) ->
+      let st = Random.State.make [| seed; num_inputs; num_ops; 7 |] in
+      let cdfg = random_cdfg st ~num_inputs ~num_ops in
+      let elab = elab_of ~width:(1 + (seed mod 3)) cdfg in
+      let net =
+        (Mapper.map elab.Elaborate.netlist ~k:4).Mapper.lut_network
+      in
+      let vectors = vector_choices.(vi) in
+      let seed = Printf.sprintf "mc%d" seed in
+      let s = Switching.monte_carlo ~engine:`Scalar ~seed ~vectors net in
+      let p = Switching.monte_carlo ~engine:`Bit_parallel ~seed ~vectors net in
+      (* Both engines derive the floats from identical integer counts,
+         so equality must be bit-exact, not approximate. *)
+      s = p)
+
+(* --- pinned regressions --------------------------------------------- *)
+
+let single_cdfg () =
+  Cdfg.create ~name:"single" ~num_inputs:2
+    ~ops:
+      [
+        { Cdfg.id = 0; kind = Cdfg.Add; left = Cdfg.Input 0;
+          right = Cdfg.Input 1 };
+      ]
+    ~outputs:[ Cdfg.Op 0 ]
+
+let run_both ~vectors ~seed elab =
+  let config = { Sim.default_config with Sim.vectors; seed } in
+  let rs = Sim.run_scalar ~config elab ~network:elab.Elaborate.netlist in
+  let rp = Sim.run_parallel ~config elab ~network:elab.Elaborate.netlist in
+  (rs, rp)
+
+let test_zero_vectors () =
+  let elab = elab_of ~width:1 (single_cdfg ()) in
+  let rs, rp = run_both ~vectors:0 ~seed:"z" elab in
+  assert_same "zero vectors" rs rp;
+  check_int "no toggles" 0 rs.Sim.total_toggles;
+  check_int "no glitches" 0 rs.Sim.glitch_toggles;
+  check_int "no cycles" 0 rs.Sim.cycles;
+  check_bool "all node counters zero" true
+    (Array.for_all (fun t -> t = 0) rs.Sim.node_toggles)
+
+(* Exact counts for the smallest network (1-bit single-op datapath),
+   under a full word of vectors and under a 5-lane tail.  These values
+   are the scalar oracle's output at the time the engines were proven
+   identical; any change to either engine or to the vector stream moves
+   them. *)
+let test_single_node_pinned () =
+  let elab = elab_of ~width:1 (single_cdfg ()) in
+  let pin tag vectors (total, glitch, cycles) =
+    let rs, rp = run_both ~vectors ~seed:"pin" elab in
+    assert_same tag rs rp;
+    check_int (tag ^ ": pinned total") total rs.Sim.total_toggles;
+    check_int (tag ^ ": pinned glitch") glitch rs.Sim.glitch_toggles;
+    check_int (tag ^ ": pinned cycles") cycles rs.Sim.cycles;
+    check_int (tag ^ ": pinned signals") 6 rs.Sim.num_signals
+  in
+  pin "one full word" 63 (169, 16, 63);
+  pin "tail of 5 lanes" 5 (17, 2, 5)
+
+(* A diamond — y = (a + b) * a — reconverges with unequal path depths,
+   so the unit-delay model must produce glitches, and both engines must
+   count exactly the same ones. *)
+let test_glitch_network_pinned () =
+  let diamond =
+    Cdfg.create ~name:"diamond" ~num_inputs:2
+      ~ops:
+        [
+          { Cdfg.id = 0; kind = Cdfg.Add; left = Cdfg.Input 0;
+            right = Cdfg.Input 1 };
+          { Cdfg.id = 1; kind = Cdfg.Mult; left = Cdfg.Op 0;
+            right = Cdfg.Input 0 };
+        ]
+      ~outputs:[ Cdfg.Op 1 ]
+  in
+  let elab = elab_of ~width:4 diamond in
+  let rs, rp = run_both ~vectors:10 ~seed:"glitch" elab in
+  assert_same "diamond" rs rp;
+  check_bool "glitches observed" true (rs.Sim.glitch_toggles > 0);
+  check_int "pinned total" 345 rs.Sim.total_toggles;
+  check_int "pinned glitch" 42 rs.Sim.glitch_toggles;
+  check_int "pinned cycles" 20 rs.Sim.cycles;
+  check_int "pinned signals" 43 rs.Sim.num_signals
+
+(* The stream contract both engines consume (sim.mli): one generator
+   from the seed, draws vector-major input-minor, each draw
+   [Rng.int rng (mask + 1)].  Pinned golden draws: if this test fails,
+   the stream changed and every committed benchmark number moves. *)
+let test_vector_stream_pinned () =
+  let vs = Sim.vector_stream ~seed:"pin" ~vectors:4 ~num_inputs:3 ~mask:255 in
+  let expect =
+    [| [| 72; 69; 132 |]; [| 182; 221; 62 |]; [| 243; 5; 167 |];
+       [| 69; 222; 230 |] |]
+  in
+  check_bool "golden stream draws" true (vs = expect)
+
+(* A prefix of the stream must not depend on the total vector count —
+   otherwise "same seed, more vectors" would silently resample
+   everything and per-vector results could not be compared across
+   runs. *)
+let test_vector_stream_prefix () =
+  let short = Sim.vector_stream ~seed:"p" ~vectors:5 ~num_inputs:2 ~mask:15 in
+  let long = Sim.vector_stream ~seed:"p" ~vectors:90 ~num_inputs:2 ~mask:15 in
+  check_bool "prefix stable" true
+    (Array.for_all2 (fun a b -> a = b) short (Array.sub long 0 5))
+
+(* Constant-driven LUTs: constants settle in the canonical state and
+   never toggle; downstream logic sees them as frozen lanes in every
+   word.  Checked against exhaustive scalar evaluation and through the
+   monte-carlo sampler under both engines. *)
+let test_constant_driven_luts () =
+  let b = Nl.create_builder ~name:"const" in
+  let a = Nl.add_input b "a" in
+  let c1 = Nl.add_const b true in
+  let c0 = Nl.add_const b false in
+  let and_t = Tt.and_ (Tt.var 0 2) (Tt.var 1 2) in
+  let or_t = Tt.or_ (Tt.var 0 2) (Tt.var 1 2) in
+  let y_and = Nl.add_node b ~name:"y_and" ~func:and_t ~fanins:[| a; c1 |] in
+  let y_or = Nl.add_node b ~name:"y_or" ~func:or_t ~fanins:[| a; c0 |] in
+  let y_up = Nl.add_node b ~name:"y_up" ~func:or_t ~fanins:[| y_and; c1 |] in
+  Nl.mark_output b "y_and" y_and;
+  Nl.mark_output b "y_or" y_or;
+  Nl.mark_output b "y_up" y_up;
+  let net = Nl.freeze b in
+  (* eval vs eval_words on every input value, all lanes alternating. *)
+  List.iter
+    (fun v ->
+      let scalar = Nl.eval net [| v |] in
+      let words =
+        Nl.eval_words net [| (if v then Bits.mask_lanes Bits.lanes else 0) |]
+      in
+      Array.iteri
+        (fun id w ->
+          let expect =
+            if scalar.(id) then Bits.mask_lanes Bits.lanes else 0
+          in
+          check_int
+            (Printf.sprintf "node %d words (a=%b)" id v)
+            expect w)
+        words)
+    [ false; true ];
+  let vectors = 100 in
+  let s = Switching.monte_carlo ~engine:`Scalar ~seed:"c" ~vectors net in
+  let p = Switching.monte_carlo ~engine:`Bit_parallel ~seed:"c" ~vectors net in
+  check_bool "mc engines identical on constants" true (s = p);
+  (* Pinned: a constant is P=1 (or 0) with zero activity; logic that
+     reduces to the input mirrors the input's sampled signal. *)
+  check_bool "const1 signal" true
+    (s.(c1) = { Switching.prob = 1.0; activity = 0.0 });
+  check_bool "const0 signal" true
+    (s.(c0) = { Switching.prob = 0.0; activity = 0.0 });
+  check_bool "AND with 1 = identity" true (s.(y_and) = s.(a));
+  check_bool "OR with 0 = identity" true (s.(y_or) = s.(a));
+  check_bool "OR with 1 = const" true
+    (s.(y_up) = { Switching.prob = 1.0; activity = 0.0 })
+
+(* --- engine selection ----------------------------------------------- *)
+
+let test_engine_dispatch () =
+  List.iter
+    (fun (s, e) ->
+      check_bool (Printf.sprintf "parse %S" s) true
+        (Sim.engine_of_string s = e))
+    [
+      ("auto", Some Sim.Auto);
+      ("scalar", Some Sim.Scalar);
+      ("parallel", Some Sim.Bit_parallel);
+      ("bit-parallel", Some Sim.Bit_parallel);
+      ("bit_parallel", Some Sim.Bit_parallel);
+      ("quantum", None);
+    ];
+  check_bool "forced engines resolve to themselves" true
+    (Sim.resolve_engine Sim.Scalar = Sim.Scalar
+    && Sim.resolve_engine Sim.Bit_parallel = Sim.Bit_parallel);
+  (* Auto consults HLP_SIM_ENGINE; restore the variable whatever
+     happens so the rest of the process is unaffected. *)
+  let old = Sys.getenv_opt "HLP_SIM_ENGINE" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "HLP_SIM_ENGINE" (Option.value ~default:"" old))
+    (fun () ->
+      Unix.putenv "HLP_SIM_ENGINE" "";
+      check_bool "unset -> bit-parallel" true
+        (Sim.resolve_engine Sim.Auto = Sim.Bit_parallel);
+      Unix.putenv "HLP_SIM_ENGINE" "scalar";
+      check_bool "env scalar" true
+        (Sim.resolve_engine Sim.Auto = Sim.Scalar);
+      Unix.putenv "HLP_SIM_ENGINE" "parallel";
+      check_bool "env parallel" true
+        (Sim.resolve_engine Sim.Auto = Sim.Bit_parallel);
+      Unix.putenv "HLP_SIM_ENGINE" "quantum";
+      check_bool "env bogus raises" true
+        (match Sim.resolve_engine Sim.Auto with
+        | exception Failure _ -> true
+        | _ -> false))
+
+let test_measured_sa_engines () =
+  let s =
+    Sa_table.measured_sa ~engine:`Scalar ~vectors:200 sa_table Cdfg.Add_sub
+      ~left:2 ~right:3
+  in
+  let p =
+    Sa_table.measured_sa ~engine:`Bit_parallel ~vectors:200 sa_table
+      Cdfg.Add_sub ~left:2 ~right:3
+  in
+  check_bool "measured SA positive" true (s > 0.);
+  check_bool "measured SA engines identical" true (Float.equal s p)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_sim_differential;
+    QCheck_alcotest.to_alcotest prop_monte_carlo_differential;
+    Alcotest.test_case "zero vectors" `Quick test_zero_vectors;
+    Alcotest.test_case "single node pinned" `Quick test_single_node_pinned;
+    Alcotest.test_case "glitch network pinned" `Quick
+      test_glitch_network_pinned;
+    Alcotest.test_case "vector stream pinned" `Quick
+      test_vector_stream_pinned;
+    Alcotest.test_case "vector stream prefix stable" `Quick
+      test_vector_stream_prefix;
+    Alcotest.test_case "constant-driven luts" `Quick
+      test_constant_driven_luts;
+    Alcotest.test_case "engine dispatch" `Quick test_engine_dispatch;
+    Alcotest.test_case "measured sa engines" `Quick test_measured_sa_engines;
+  ]
