@@ -626,6 +626,121 @@ let sim_engines () =
     (Lazy.force sim_engine_rows)
 
 (* ------------------------------------------------------------------ *)
+(* Static estimator vs bit-parallel simulation: the analyzer visits each
+   LUT once, the simulator executes the schedule per vector, so the
+   analyzer's accuracy has to be bought at a fraction of the cost to be
+   worth anything.  Per Sec. 6 benchmark (hlpower alpha=0.5 binding),
+   both estimators run on the same mapped network against the flow's
+   own baseline — [Sim.run] at the paper's 1000-vector count, the sweep
+   a `Sim bind actually pays for — and the rows are self-checking: the
+   relative toggle error must stay inside [static_error_bound] on every
+   benchmark, and the whole static sweep must be at least
+   [static_speedup_floor]x faster than the whole simulated sweep.  (The
+   speedup floor is asserted on the aggregate sweep, not per row: the
+   smallest benchmarks finish in a couple of milliseconds, where timer
+   noise swamps a per-row ratio; per-row speedups are still reported.) *)
+
+let static_error_bound = 0.15
+let static_speedup_floor = 100.
+
+type static_row = {
+  st_bench : string;
+  st_cycles : int;
+  st_sim_toggles : int;
+  st_static_toggles : float;
+  st_rel_error : float;
+  st_sim_s : float;
+  st_static_s : float;
+}
+
+(* Sequential on purpose: these rows are wall-clock measurements, and
+   [Pool]'s threads would interleave under the runtime lock and charge
+   one row's sim time to another row's clock. *)
+let static_estimator_rows =
+  lazy
+    (List.map
+       (fun pr ->
+         let dp = Hlp_rtl.Datapath.build ~width pr.hlp_a05 in
+         let elab = Hlp_rtl.Elaborate.elaborate dp in
+         let mapping =
+           Hlp_mapper.Mapper.map elab.Hlp_rtl.Elaborate.netlist ~k:4
+         in
+         let network = mapping.Hlp_mapper.Mapper.lut_network in
+         let config =
+           { Hlp_rtl.Sim.default_config with Hlp_rtl.Sim.check = false }
+         in
+         let t0 = now () in
+         let sim = Hlp_rtl.Sim.run ~config elab ~network in
+         let sim_s = now () -. t0 in
+         (* The static pass is milliseconds; average a burst of reps so
+            the row isn't one timer sample. *)
+         let reps = 20 in
+         ignore (Hlp_rtl.Static_model.analyze elab ~network);
+         let t1 = now () in
+         for _ = 2 to reps do
+           ignore (Hlp_rtl.Static_model.analyze elab ~network)
+         done;
+         let an = Hlp_rtl.Static_model.analyze elab ~network in
+         let static_s = (now () -. t1) /. float_of_int reps in
+         let cycles = sim.Hlp_rtl.Sim.cycles in
+         let static_toggles =
+           Hlp_static.Analysis.total_toggles an *. float_of_int cycles
+         in
+         let sim_toggles = sim.Hlp_rtl.Sim.total_toggles in
+         {
+           st_bench = pr.profile.B.bench_name;
+           st_cycles = cycles;
+           st_sim_toggles = sim_toggles;
+           st_static_toggles = static_toggles;
+           st_rel_error =
+             (static_toggles -. float_of_int sim_toggles)
+             /. float_of_int sim_toggles;
+           st_sim_s = sim_s;
+           st_static_s = static_s;
+         })
+       (Lazy.force prepared))
+
+let static_speedup r =
+  if stable || r.st_static_s <= 0. then 0. else r.st_sim_s /. r.st_static_s
+
+let static_sweep_speedup rows =
+  let sim = List.fold_left (fun a r -> a +. r.st_sim_s) 0. rows in
+  let st = List.fold_left (fun a r -> a +. r.st_static_s) 0. rows in
+  if stable || st <= 0. then 0. else sim /. st
+
+let static_estimator () =
+  section
+    (Printf.sprintf
+       "Static estimator: simulation-free toggle estimate vs bit-parallel \
+        sweep (%d vectors, gain %.3f)"
+       Hlp_rtl.Sim.default_config.Hlp_rtl.Sim.vectors
+       Hlp_static.Analysis.default_glitch_gain);
+  Printf.printf "%-8s %10s %12s %12s %8s %10s %10s %8s\n" "bench" "cycles"
+    "sim toggles" "static est" "err%" "sim (s)" "static (s)" "speedup";
+  let failed = ref false in
+  let rows = Lazy.force static_estimator_rows in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %10d %12d %12.0f %+7.2f %10.4f %10.6f %7.0fx\n"
+        r.st_bench r.st_cycles r.st_sim_toggles r.st_static_toggles
+        (100. *. r.st_rel_error) (shown_seconds r.st_sim_s)
+        (shown_seconds r.st_static_s) (static_speedup r);
+      if Float.abs r.st_rel_error > static_error_bound then begin
+        Printf.eprintf "[static] %s: |%.1f%%| error exceeds the %.0f%% bound\n%!"
+          r.st_bench (100. *. r.st_rel_error) (100. *. static_error_bound);
+        failed := true
+      end)
+    rows;
+  let sweep = static_sweep_speedup rows in
+  Printf.printf "%-8s %66s %7.0fx\n" "sweep" "" sweep;
+  if (not stable) && sweep < static_speedup_floor then begin
+    Printf.eprintf "[static] sweep: %.0fx speedup under the %.0fx floor\n%!"
+      sweep static_speedup_floor;
+    failed := true
+  end;
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, timing the
    compute kernel that regenerates it. *)
 
@@ -801,6 +916,31 @@ let bench_json ~total_seconds path =
       sep := ",")
     (Lazy.force sim_engine_rows);
   add "\n  ]},\n";
+  (* Static estimator differential: relative errors are deterministic
+     (both estimators are seeded) and stay real under HLP_STABLE; only
+     the timing-derived fields are zeroed. *)
+  add
+    (Printf.sprintf
+       "  \"static_estimator\": {\"glitch_gain\": %s, \"error_bound\": %s, \
+        \"speedup_floor\": %s, \"sweep_speedup\": %s, \"rows\": ["
+       (jf Hlp_static.Analysis.default_glitch_gain)
+       (jf static_error_bound) (jf static_speedup_floor)
+       (jt (static_sweep_speedup (Lazy.force static_estimator_rows))));
+  sep := "";
+  List.iter
+    (fun r ->
+      add
+        (Printf.sprintf
+           "%s\n    {\"bench\": \"%s\", \"cycles\": %d, \"sim_toggles\": \
+            %d, \"static_toggles\": %s, \"rel_error\": %s, \
+            \"sim_seconds\": %s, \"static_seconds\": %s, \"speedup\": %s}"
+           !sep r.st_bench r.st_cycles r.st_sim_toggles
+           (jf r.st_static_toggles) (jf r.st_rel_error) (jt r.st_sim_s)
+           (jt r.st_static_s)
+           (jf (static_speedup r)));
+      sep := ",")
+    (Lazy.force static_estimator_rows);
+  add "\n  ]},\n";
   (* Phase wall clock (elaborate / map / sim / power / bind, plus the
      per-design flow spans).  Call counts stay real in stable mode;
      only the seconds are zeroed. *)
@@ -934,6 +1074,7 @@ let () =
   ablation_port_assign ();
   ablation_module_select ();
   sim_engines ();
+  static_estimator ();
   (* Bechamel numbers are wall-clock by nature; skip them entirely in
      byte-stable mode. *)
   if not stable then bechamel_section ();

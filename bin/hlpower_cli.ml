@@ -13,6 +13,7 @@ module Lopass = Hlp_core.Lopass
 module Datapath = Hlp_rtl.Datapath
 module Vhdl = Hlp_rtl.Vhdl
 module Flow = Hlp_rtl.Flow
+module Power = Hlp_rtl.Power
 module Blif = Hlp_netlist.Blif
 open Cmdliner
 
@@ -61,6 +62,17 @@ let width_arg =
 let vectors_arg =
   let doc = "Random simulation vectors." in
   Arg.(value & opt int 100 & info [ "vectors" ] ~doc)
+
+let estimator_arg =
+  let doc = "Power estimator: sim (bit-parallel gate-level simulation), \
+             static (simulation-free activity analysis) or both (simulate \
+             and report the static estimate alongside)." in
+  Arg.(value & opt string "sim" & info [ "estimator" ] ~doc)
+
+let parse_estimator s =
+  match Power.estimator_of_string s with
+  | Some e -> e
+  | None -> failwith ("unknown estimator: " ^ s ^ " (expected sim, static or both)")
 
 let vhdl_arg =
   let doc = "Write the bound design as VHDL to $(docv)." in
@@ -130,8 +142,8 @@ let write_bench_json_if_requested ?sa_table reports =
         Format.eprintf "[bench] cannot write %s: %s@." path msg)
   | _ -> ()
 
-let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
-    port_assign testbench_out verbose =
+let run_bind bench binder alpha width vectors estimator vhdl_out blif_out
+    sa_path port_assign testbench_out verbose =
   setup_logs verbose;
   try
     let p, schedule, regs = prepare bench in
@@ -174,7 +186,10 @@ let run_bind bench binder alpha width vectors vhdl_out blif_out sa_path
     in
     Binding.validate binding;
     Format.printf "binding: %a@." Binding.pp_summary binding;
-    let config = { Flow.default_config with Flow.width; vectors } in
+    let config =
+      { Flow.default_config with
+        Flow.width; vectors; estimator = parse_estimator estimator }
+    in
     let report =
       Flow.run ~config ~design:(bench ^ "-" ^ binder) binding
     in
@@ -220,8 +235,8 @@ let bind_cmd =
     (Cmd.info "bind" ~doc)
     Term.(
       const run_bind $ bench_arg $ binder_arg $ alpha_arg $ width_arg
-      $ vectors_arg $ vhdl_arg $ blif_arg $ sa_table_arg $ port_assign_arg
-      $ testbench_arg $ verbose_arg)
+      $ vectors_arg $ estimator_arg $ vhdl_arg $ blif_arg $ sa_table_arg
+      $ port_assign_arg $ testbench_arg $ verbose_arg)
 
 (* --- lint command --- *)
 
@@ -239,8 +254,21 @@ let json_arg =
   let doc = "Also write the diagnostics as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let run_lint bench binder width json_out verbose =
+let run_lint bench binder width json_out catalog verbose =
   setup_logs verbose;
+  if catalog then begin
+    Printf.printf "%-5s %-7s %-9s %s\n" "code" "sever." "family" "synopsis";
+    List.iter
+      (fun (r : Hlp_lint.Lint.rule) ->
+        Printf.printf "%-5s %-7s %-9s %s\n" r.Hlp_lint.Lint.r_code
+          (match r.Hlp_lint.Lint.r_severity with
+          | Hlp_lint.Diagnostic.Error -> "error"
+          | Hlp_lint.Diagnostic.Warning -> "warning")
+          r.Hlp_lint.Lint.r_family r.Hlp_lint.Lint.r_synopsis)
+      Hlp_lint.Lint.catalog;
+    0
+  end
+  else
   try
     let binders =
       match binder with
@@ -327,18 +355,23 @@ let run_lint bench binder width json_out verbose =
         (Option.value ~default:"?" bench);
       1
 
+let catalog_arg =
+  let doc = "Print the rule catalog (code, severity, family, synopsis) and \
+             exit." in
+  Arg.(value & flag & info [ "catalog" ] ~doc)
+
 let lint_cmd =
-  let doc = "Statically check the binding, datapath, netlist and LUT cover \
-             of every design; report all violations" in
+  let doc = "Statically check the binding, datapath, netlist, LUT cover and \
+             activity profile of every design; report all violations" in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
       const run_lint $ lint_bench_arg $ lint_binder_arg $ width_arg
-      $ json_arg $ verbose_arg)
+      $ json_arg $ catalog_arg $ verbose_arg)
 
 (* --- compare command --- *)
 
-let run_compare bench width vectors verbose =
+let run_compare bench width vectors estimator verbose =
   setup_logs verbose;
   try
     let p, schedule, regs = prepare bench in
@@ -350,7 +383,10 @@ let run_compare bench width vectors verbose =
       (Hlpower.bind ~params ~sa_table ~regs ~resources:min_res schedule)
         .Hlpower.binding
     in
-    let config = { Flow.default_config with Flow.width; vectors } in
+    let config =
+      { Flow.default_config with
+        Flow.width; vectors; estimator = parse_estimator estimator }
+    in
     let report name binding =
       let r = Flow.run ~config ~design:name binding in
       Format.printf "%a@." Flow.pp_report r;
@@ -439,7 +475,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc)
     Term.(const run_compare $ bench_arg $ width_arg $ vectors_arg
-          $ verbose_arg)
+          $ estimator_arg $ verbose_arg)
 
 (* --- serve command --- *)
 
@@ -538,7 +574,7 @@ let raw_arg =
   Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"JSON" ~doc)
 
 let run_client socket tcp op bench binder alpha width vectors port_assign
-    alphas deadline_ms ping_ms raw verbose =
+    estimator alphas deadline_ms ping_ms raw verbose =
   setup_logs verbose;
   let need_bench () =
     match bench with
@@ -561,9 +597,10 @@ let run_client socket tcp op bench binder alpha width vectors port_assign
               Client.recv c
           | None ->
               let bind_params () =
+                ignore (parse_estimator estimator);
                 { Protocol.default_bind_params with
                   Protocol.bench = need_bench ();
-                  binder; alpha; width; vectors; port_assign }
+                  binder; alpha; width; vectors; port_assign; estimator }
               in
               let op =
                 match op with
@@ -622,8 +659,8 @@ let client_cmd =
     Term.(
       const run_client $ socket_arg $ tcp_arg $ op_arg $ client_bench_arg
       $ binder_arg $ alpha_arg $ width_arg $ vectors_arg $ port_assign_arg
-      $ alphas_arg $ client_deadline_arg $ ping_ms_arg $ raw_arg
-      $ verbose_arg)
+      $ estimator_arg $ alphas_arg $ client_deadline_arg $ ping_ms_arg
+      $ raw_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "FPGA-targeted glitch-aware high-level binding (HLPower)" in

@@ -1,10 +1,13 @@
 module Tt = Hlp_netlist.Truth_table
 module Nl = Hlp_netlist.Netlist
 
-let of_table f probs =
+let check_arity name f probs =
+  if Array.length probs <> Tt.arity f then
+    invalid_arg (Printf.sprintf "Prob.%s: wrong number of probabilities" name)
+
+let of_table_minterms f probs =
+  check_arity "of_table_minterms" f probs;
   let n = Tt.arity f in
-  if Array.length probs <> n then
-    invalid_arg "Prob.of_table: wrong number of probabilities";
   let total = ref 0. in
   for m = 0 to (1 lsl n) - 1 do
     if Tt.eval f m then begin
@@ -17,6 +20,39 @@ let of_table f probs =
   done;
   (* Summation drift can push the total marginally outside [0, 1]. *)
   Hlp_util.Stats.clamp ~lo:0. ~hi:1. !total
+
+(* Shannon expansion on the table column, the float twin of
+   [Truth_table.eval_words]: expanding on the top input,
+   P(f) = P(f|x=0) + p_x * (P(f|x=1) - P(f|x=0)).  O(2^n) float
+   operations instead of the O(n * 2^n) minterm sum, no allocation, and
+   equal halves fold without reading the input probability.  The
+   minterm loop above is kept as the test oracle. *)
+let rec shannon probs bits n =
+  if n = 0 then (if bits land 1 = 1 then 1. else 0.)
+  else begin
+    let half = 1 lsl (n - 1) in
+    let lo = shannon probs bits (n - 1) in
+    let hi = shannon probs (bits lsr half) (n - 1) in
+    if lo = hi then lo
+    else lo +. (Array.unsafe_get probs (n - 1) *. (hi -. lo))
+  end
+
+let of_table f probs =
+  check_arity "of_table" f probs;
+  let n = Tt.arity f in
+  let p =
+    if n < Tt.max_vars then shannon probs (Int64.to_int (Tt.bits f)) n
+    else begin
+      (* 2^6 table bits overflow a 63-bit native int: split on the top
+         input by hand, as [eval_words] does. *)
+      let bits = Tt.bits f in
+      let blo = Int64.to_int (Int64.logand bits 0xFFFFFFFFL)
+      and bhi = Int64.to_int (Int64.shift_right_logical bits 32) in
+      let lo = shannon probs blo 5 and hi = shannon probs bhi 5 in
+      if lo = hi then lo else lo +. (probs.(5) *. (hi -. lo))
+    end
+  in
+  Hlp_util.Stats.clamp ~lo:0. ~hi:1. p
 
 let node_probabilities t ~input_prob =
   let probs = Array.make (Nl.num_nodes t) 0.5 in

@@ -9,8 +9,19 @@
 
 (** [of_table f probs] is the probability that [f] evaluates to 1 given
     independent input-1 probabilities [probs] (one per table input).
+    Computed by Shannon expansion on the table column ([O(2^n)] float
+    operations, the float twin of [Truth_table.eval_words]); this is the
+    hot path of the static analyzer, called once per node per sweep.
     @raise Invalid_argument if [Array.length probs <> arity f]. *)
 val of_table : Hlp_netlist.Truth_table.t -> float array -> float
+
+(** [of_table_minterms f probs] is the original [O(n * 2^n)] minterm sum
+    — kept as the differential test oracle for {!of_table}.  Both are
+    exact (and bit-equal) under the paper's uniform 0.5 assignment,
+    where every intermediate value is a small dyadic; on arbitrary
+    floats they may differ by rounding.
+    @raise Invalid_argument if [Array.length probs <> arity f]. *)
+val of_table_minterms : Hlp_netlist.Truth_table.t -> float array -> float
 
 (** [node_probabilities t ~input_prob] is the per-node-id signal
     probability of every net in [t]; [input_prob k] gives the probability

@@ -3,6 +3,7 @@ module Binding = Hlp_core.Binding
 module Datapath = Hlp_rtl.Datapath
 module Elaborate = Hlp_rtl.Elaborate
 module Flow = Hlp_rtl.Flow
+module Static_model = Hlp_rtl.Static_model
 module Mapper = Hlp_mapper.Mapper
 
 type rule = {
@@ -16,7 +17,14 @@ let rule family (r_code, r_severity, r_synopsis) =
   { r_code; r_severity; r_family = family; r_synopsis }
 
 let catalog =
-  List.map (rule "binding")
+  List.map (rule "activity")
+    [
+      ("A001", D.Warning, "glitch-hot net (wide, exercised arrival window)");
+      ("A002", D.Warning, "near-constant net (probability pinned to a rail)");
+      ("A003", D.Warning, "transition-density envelope over the budget");
+      ("A004", D.Warning, "reconvergent-fanout zones dominate the design");
+    ]
+  @ List.map (rule "binding")
     [
       ("B001", D.Error, "op not bound to any functional unit");
       ("B002", D.Error, "op bound to more than one functional unit");
@@ -39,6 +47,15 @@ let catalog =
         ("D007", D.Error, "register consumed before any load");
         ("D008", D.Error, "control tables sized differently from the binding");
       ]
+  @ [ rule "driver" ("L001", D.Error, "pipeline stage raised an exception") ]
+  @ List.map (rule "mapped")
+      [
+        ("M001", D.Error, "LUT with more than k inputs");
+        ("M002", D.Error, "cone coverage broken (leaf or output unmapped)");
+        ("M003", D.Error, "LUT network disagrees with the source netlist");
+        ("M004", D.Error, "LUT network deeper than the gate netlist");
+        ("M005", D.Error, "LUT function arity differs from its leaf count");
+      ]
   @ List.map (rule "netlist")
       [
         ("N001", D.Error, "node id does not match its array index");
@@ -52,15 +69,18 @@ let catalog =
         ("N009", D.Error, "BLIF round trip not semantically equivalent");
         ("N010", D.Error, "BLIF round trip fails to parse");
       ]
-  @ List.map (rule "mapped")
+  @ List.map (rule "server")
       [
-        ("M001", D.Error, "LUT with more than k inputs");
-        ("M002", D.Error, "cone coverage broken (leaf or output unmapped)");
-        ("M003", D.Error, "LUT network disagrees with the source netlist");
-        ("M004", D.Error, "LUT network deeper than the gate netlist");
-        ("M005", D.Error, "LUT function arity differs from its leaf count");
+        ("S001", D.Error, "request frame is not valid JSON");
+        ("S002", D.Error, "unknown or missing request op");
+        ("S003", D.Error, "bad request parameter");
+        ("S004", D.Error, "unknown benchmark name");
+        ("S005", D.Error, "binder or pipeline failure on a valid request");
+        ("S006", D.Error, "op not served by this endpoint");
+        ("S007", D.Error, "inline graph exceeds an admission size limit");
+        ("S008", D.Error, "inline graph reference invalid (self, forward \
+                           or out of range)");
       ]
-  @ [ rule "driver" ("L001", D.Error, "pipeline stage raised an exception") ]
 
 (* --- driver ----------------------------------------------------------- *)
 
@@ -110,6 +130,15 @@ let run_all ?(config = Flow.default_config) ~design:_ binding =
   Option.iter
     (fun m -> acc := Rules_mapped.check ~k:config.Flow.k m @ !acc)
     mapping;
+  (match (elab, mapping) with
+  | Some elab, Some m when ok () -> (
+      match
+        stage "Static_model.analyze" (fun () ->
+            Static_model.analyze elab ~network:m.Mapper.lut_network)
+      with
+      | Ok an -> acc := Rules_activity.check an @ !acc
+      | Error d -> acc := d :: !acc)
+  | _ -> ());
   List.sort D.compare !acc
 
 (* --- reporting -------------------------------------------------------- *)

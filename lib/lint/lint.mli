@@ -3,7 +3,7 @@
 
     [Hlp_lint] checks every intermediate artifact the flow produces and
     reports {e all} violations as structured {!Diagnostic.t} values
-    rather than dying on the first.  Four rule families cover the four
+    rather than dying on the first.  Five rule families cover the
     artifact kinds:
 
     - {!Rules_binding} ([B001]-[B009]) — the binding solution
@@ -11,6 +11,8 @@
     - {!Rules_netlist} ([N001]-[N010]) — the gate netlist and its BLIF
       round trip
     - {!Rules_mapped} ([M001]-[M005]) — the k-LUT cover
+    - {!Rules_activity} ([A001]-[A004]) — advisory power findings from
+      the static activity analysis of the LUT cover
 
     Linking this library (all executables in this tree do) also arms the
     legacy validators: {!Hlp_core.Binding.validate} and
@@ -25,11 +27,16 @@
 type rule = {
   r_code : string;  (** stable identifier, e.g. ["B002"] *)
   r_severity : Diagnostic.severity;
-  r_family : string;  (** ["binding"], ["datapath"], ["netlist"], ["mapped"] or ["driver"] *)
+  r_family : string;
+      (** ["activity"], ["binding"], ["datapath"], ["driver"],
+          ["mapped"], ["netlist"] or ["server"] *)
   r_synopsis : string;
 }
 
-(** Every rule the subsystem can emit, sorted by code.  [L001] is the
+(** Every rule the tree can emit — one catalog across the lint families,
+    the driver and the daemon's request validator ([S001]-[S008], defined
+    in [Hlp_server] but cataloged here so one list covers every code a
+    diagnostic can carry).  Codes are unique and sorted.  [L001] is the
     driver's own code for a pipeline stage that raised instead of
     producing an artifact to lint. *)
 val catalog : rule list

@@ -1,0 +1,95 @@
+module Nl = Hlp_netlist.Netlist
+module A = Hlp_static.Analysis
+module D = Diagnostic
+
+type thresholds = {
+  a1_spread : int;
+  a1_glitch : float;
+  a2_eps : float;
+  a3_budget : float;
+  a4_share : float;
+}
+
+let default_thresholds =
+  {
+    a1_spread = 24;
+    a1_glitch = 4.0;
+    a2_eps = 0.01;
+    a3_budget = 32.0;
+    a4_share = 0.5;
+  }
+
+let check ?(thresholds = default_thresholds) (an : A.t) =
+  let th = thresholds in
+  if th.a1_spread < 0 then invalid_arg "Rules_activity.check: a1_spread < 0";
+  if th.a1_glitch < 0. then invalid_arg "Rules_activity.check: a1_glitch < 0";
+  if th.a2_eps < 0. || th.a2_eps > 0.5 then
+    invalid_arg "Rules_activity.check: a2_eps outside [0, 0.5]";
+  if th.a3_budget < 0. then invalid_arg "Rules_activity.check: a3_budget < 0";
+  if th.a4_share < 0. || th.a4_share > 1. then
+    invalid_arg "Rules_activity.check: a4_share outside [0, 1]";
+  let net = A.net an in
+  let info = A.info an in
+  let diags = ref [] in
+  let report d = diags := d :: !diags in
+  let logic_nodes = ref 0 in
+  Array.iteri
+    (fun id (i : A.node_info) ->
+      let is_logic =
+        (not (Nl.is_input net id))
+        && Array.length (Nl.node net id).Nl.fanins > 0
+      in
+      if is_logic then begin
+        incr logic_nodes;
+        (* A001: glitch-hot net — a wide arrival window (many distinct
+           path lengths converge here) actually exercised by the
+           estimated glitch activity. *)
+        if A.spread i >= th.a1_spread && A.glitch i >= th.a1_glitch then
+          report
+            (D.warning "A001" (D.Node id)
+               "glitch-hot net: arrival window [%d, %d] (spread %d) with \
+                %.2f estimated glitch transitions/cycle"
+               i.A.min_arrival i.A.max_arrival (A.spread i) (A.glitch i));
+        (* A002: near-constant net — the signal probability pins to one
+           rail, so the node computes (almost) no information per cycle
+           yet still costs a LUT and wiring. *)
+        if i.A.prob <= th.a2_eps || i.A.prob >= 1. -. th.a2_eps then
+          report
+            (D.warning "A002" (D.Node id)
+               "near-constant net: signal probability %.4f" i.A.prob);
+        (* A003: density-budget violation — Najm's simultaneity-blind
+           transition-density envelope exceeds the per-net budget, so
+           even with perfect arrival balancing the net is a switching
+           hot spot. *)
+        if i.A.density > th.a3_budget then
+          report
+            (D.warning "A003" (D.Node id)
+               "transition-density envelope %.2f/cycle exceeds the budget \
+                of %.2f"
+               i.A.density th.a3_budget)
+      end)
+    info;
+  (* A004: reconvergent-fanout zones — where fanin cones overlap the
+     independence assumption behind every estimate above degrades, so a
+     design dominated by reconvergence should trust the simulator over
+     the analyzer.  One design-level finding, not one per node. *)
+  if !logic_nodes > 0 then begin
+    let recon = A.reconvergent net in
+    let hits = ref 0 in
+    Array.iteri
+      (fun id r ->
+        if
+          r
+          && (not (Nl.is_input net id))
+          && Array.length (Nl.node net id).Nl.fanins > 0
+        then incr hits)
+      recon;
+    let share = float_of_int !hits /. float_of_int !logic_nodes in
+    if share > th.a4_share then
+      report
+        (D.warning "A004" D.Design
+           "%d of %d logic nets (%.0f%%) are reconvergence points; static \
+            probability estimates degrade in these zones"
+           !hits !logic_nodes (100. *. share))
+  end;
+  List.sort D.compare !diags

@@ -1,0 +1,39 @@
+(** Activity rule family ([A001]-[A004]) over a static activity
+    analysis ({!Hlp_static.Analysis}) of a netlist — typically the k-LUT
+    cover, where glitch windows reflect what the FPGA fabric would see.
+
+    Unlike the B/D/N/M families these are advisory power findings, not
+    structural invariants, so every rule is a [Warning]:
+
+    - [A001] glitch-hot net: arrival-window spread at least
+      [a1_spread] {e and} estimated glitch transitions per cycle at
+      least [a1_glitch].  The spread counts distinct path lengths
+      converging on the net — the paper's unequal-arrival glitch
+      mechanism — and the glitch estimate confirms the window is
+      actually exercised.
+    - [A002] near-constant net: signal probability within [a2_eps] of a
+      rail.  The net computes almost nothing per cycle but still costs
+      a LUT; a candidate for constant propagation or binding changes.
+    - [A003] density-budget violation: Najm transition-density envelope
+      above [a3_budget] per cycle.  The envelope is simultaneity-blind,
+      so this flags nets that stay hot even under perfectly balanced
+      arrivals.
+    - [A004] reconvergent-fanout zones: more than [a4_share] of logic
+      nets are reconvergence points (one design-level finding).  There
+      the spatial-independence assumption behind the whole analysis
+      degrades — prefer simulated numbers for such designs. *)
+
+type thresholds = {
+  a1_spread : int;  (** A001: minimum arrival-window spread *)
+  a1_glitch : float;  (** A001: minimum glitch transitions/cycle *)
+  a2_eps : float;  (** A002: rail distance, in [0, 0.5] *)
+  a3_budget : float;  (** A003: density budget, transitions/cycle *)
+  a4_share : float;  (** A004: reconvergent share of logic nets, in [0, 1] *)
+}
+
+val default_thresholds : thresholds
+
+(** [check ?thresholds analysis] evaluates the family; result sorted
+    with {!Diagnostic.compare}.
+    @raise Invalid_argument on out-of-range thresholds. *)
+val check : ?thresholds:thresholds -> Hlp_static.Analysis.t -> Diagnostic.t list

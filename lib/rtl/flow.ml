@@ -11,6 +11,7 @@ type config = {
   engine : Sim.engine;
   model : Power.model;
   objective : Mapper.objective;
+  estimator : Power.estimator;
 }
 
 let default_config =
@@ -23,7 +24,15 @@ let default_config =
     engine = Sim.Auto;
     model = Power.default_model;
     objective = Mapper.Min_sa;
+    estimator = `Sim;
   }
+
+type static_summary = {
+  static_power_mw : float;
+  static_toggle_rate_mhz : float;
+  static_total_toggles : int;
+  static_glitch_fraction : float;
+}
 
 type report = {
   design : string;
@@ -39,6 +48,7 @@ type report = {
   sim_glitch_fraction : float;
   cycles : int;
   depth : int;
+  static : static_summary option;
 }
 
 (* Pipeline-wide structural checking.  Hlp_lint registers a checker at
@@ -58,7 +68,7 @@ type artifacts = {
 let checker : (artifacts -> unit) option ref = ref None
 let set_checker f = checker := Some f
 
-let phases = [ "elaborate"; "map"; "lint"; "sim"; "power" ]
+let phases = [ "elaborate"; "map"; "lint"; "static"; "sim"; "power" ]
 
 let run ?(checkpoint = fun _ -> ()) ?(config = default_config) ~design binding
     =
@@ -92,20 +102,41 @@ let run ?(checkpoint = fun _ -> ()) ?(config = default_config) ~design binding
               }))
       !checker;
   let network = mapping.Mapper.lut_network in
-  checkpoint "sim";
-  let sim_config =
-    {
-      Sim.vectors = config.vectors;
-      seed = config.seed;
-      check = config.check;
-      engine = config.engine;
-    }
+  (* Simulation-free estimate first (it is the cheap path): under
+     [`Static] it replaces the simulator entirely, under [`Both] it
+     rides along for comparison, under [`Sim] nothing is computed and
+     the report is byte-identical to what it always was. *)
+  let static_power =
+    match config.estimator with
+    | `Sim -> None
+    | `Static | `Both ->
+        checkpoint "static";
+        Some
+          (Telemetry.time "flow.static" (fun () ->
+               let analysis = Static_model.analyze elab ~network in
+               Power.analyze_static config.model ~network ~analysis
+                 ~cycles:(Static_model.cycles elab ~vectors:config.vectors)))
   in
-  let sim = Sim.run ~config:sim_config elab ~network in
-  checkpoint "power";
-  let power =
-    Telemetry.time "flow.power" (fun () ->
-        Power.analyze config.model ~network ~sim)
+  let power, cycles =
+    match config.estimator with
+    | `Static ->
+        let p = Option.get static_power in
+        (p, Static_model.cycles elab ~vectors:config.vectors)
+    | `Sim | `Both ->
+        checkpoint "sim";
+        let sim_config =
+          {
+            Sim.vectors = config.vectors;
+            seed = config.seed;
+            check = config.check;
+            engine = config.engine;
+          }
+        in
+        let sim = Sim.run ~config:sim_config elab ~network in
+        checkpoint "power";
+        ( Telemetry.time "flow.power" (fun () ->
+              Power.analyze config.model ~network ~sim),
+          sim.Sim.cycles )
   in
   let mux = Binding.mux_stats binding in
   {
@@ -120,8 +151,18 @@ let run ?(checkpoint = fun _ -> ()) ?(config = default_config) ~design binding
     est_total_sa = mapping.Mapper.total_sa;
     est_glitch_sa = mapping.Mapper.glitch_sa;
     sim_glitch_fraction = power.Power.sim_glitch_fraction;
-    cycles = sim.Sim.cycles;
+    cycles;
     depth = mapping.Mapper.depth;
+    static =
+      Option.map
+        (fun (p : Power.report) ->
+          {
+            static_power_mw = p.Power.dynamic_power_mw;
+            static_toggle_rate_mhz = p.Power.toggle_rate_mhz;
+            static_total_toggles = p.Power.total_toggles;
+            static_glitch_fraction = p.Power.sim_glitch_fraction;
+          })
+        static_power;
   }
 
 (* Machine-readable form of a report, as one JSON object.  Floats are
@@ -148,6 +189,22 @@ let json_of_report r =
         (json_float r.sim_glitch_fraction);
       Printf.sprintf "\"cycles\": %d, " r.cycles;
       Printf.sprintf "\"depth\": %d" r.depth;
+      (* Static fields render only when an estimate was computed, so a
+         [`Sim] report stays byte-identical to the historical format. *)
+      (match r.static with
+      | None -> ""
+      | Some st ->
+          String.concat ""
+            [
+              Printf.sprintf ", \"static_power_mw\": %s"
+                (json_float st.static_power_mw);
+              Printf.sprintf ", \"static_toggle_rate_mhz\": %s"
+                (json_float st.static_toggle_rate_mhz);
+              Printf.sprintf ", \"static_total_toggles\": %d"
+                st.static_total_toggles;
+              Printf.sprintf ", \"static_glitch_fraction\": %s"
+                (json_float st.static_glitch_fraction);
+            ]);
       "}";
     ]
 
@@ -157,4 +214,10 @@ let pp_report fmt r =
      length %d, toggle %.1f M/s, glitch %.0f%%"
     r.design r.dynamic_power_mw r.clock_period_ns r.luts r.depth
     r.largest_mux r.mux_length r.toggle_rate_mhz
-    (100. *. r.sim_glitch_fraction)
+    (100. *. r.sim_glitch_fraction);
+  match r.static with
+  | None -> ()
+  | Some st ->
+      Format.fprintf fmt " [static: %.1f mW, toggle %.1f M/s, glitch %.0f%%]"
+        st.static_power_mw st.static_toggle_rate_mhz
+        (100. *. st.static_glitch_fraction)

@@ -15,9 +15,25 @@ type config = {
   engine : Sim.engine;  (** simulation engine (default [Auto]) *)
   model : Power.model;  (** power/timing constants *)
   objective : Hlp_mapper.Mapper.objective;  (** mapping objective *)
+  estimator : Power.estimator;
+      (** toggle-count source (default [`Sim]).  [`Static] skips
+          simulation entirely — the power fields carry the static
+          estimate and no golden functional check runs; [`Both]
+          simulates as usual and adds the static estimate to the
+          report's [static] field. *)
 }
 
 val default_config : config
+
+(** The static analyzer's summary, mirroring the simulation-derived
+    power fields; present in a report iff the config's estimator was
+    [`Static] or [`Both]. *)
+type static_summary = {
+  static_power_mw : float;
+  static_toggle_rate_mhz : float;
+  static_total_toggles : int;
+  static_glitch_fraction : float;
+}
 
 type report = {
   design : string;
@@ -33,6 +49,8 @@ type report = {
   sim_glitch_fraction : float;  (** measured glitch share *)
   cycles : int;
   depth : int;
+  static : static_summary option;
+      (** the simulation-free estimate, when one was computed *)
 }
 
 (** Every intermediate artifact of one pipeline run, handed to the
@@ -82,5 +100,7 @@ val pp_report : Format.formatter -> report -> unit
 (** [json_of_report r] renders [r] as one JSON object.  Floats use
     [%.17g], so two rendered reports are textually equal iff their
     metrics are bit-identical (the property the bench harness's
-    warm-vs-cold cache diff checks). *)
+    warm-vs-cold cache diff checks).  The [static_*] fields are
+    rendered only when [r.static] is present, so [`Sim]-mode output is
+    byte-identical to the historical format. *)
 val json_of_report : report -> string

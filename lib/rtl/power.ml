@@ -22,6 +22,19 @@ let default_model =
 let clock_period_ns model ~depth =
   model.t_seq_ns +. (float_of_int depth *. (model.t_lut_ns +. model.t_route_ns))
 
+type estimator = [ `Sim | `Static | `Both ]
+
+let estimator_name = function
+  | `Sim -> "sim"
+  | `Static -> "static"
+  | `Both -> "both"
+
+let estimator_of_string = function
+  | "sim" -> Some `Sim
+  | "static" -> Some `Static
+  | "both" -> Some `Both
+  | _ -> None
+
 type report = {
   dynamic_power_mw : float;
   toggle_rate_mhz : float;
@@ -31,10 +44,13 @@ type report = {
   frequency_mhz : float;
 }
 
-let analyze model ~network ~sim =
+(* Shared core: per-net toggle counts (float to admit the static
+   estimate) over a simulated-time base of [cycles] clock periods. *)
+let analyze_counts model ~network ~node_toggles ~total_toggles ~glitch_toggles
+    ~cycles =
   let depth = Nl.max_depth network in
   let period_ns = clock_period_ns model ~depth in
-  let time_s = float_of_int sim.Sim.cycles *. period_ns *. 1e-9 in
+  let time_s = float_of_int cycles *. period_ns *. 1e-9 in
   let fanouts = Nl.fanouts network in
   (* Energy per net = toggles * C_net * 0.5 * Vdd^2. *)
   let energy =
@@ -45,26 +61,40 @@ let analyze model ~network ~sim =
           model.c_base_f
           +. (float_of_int (Array.length fanouts.(id)) *. model.c_fanout_f)
         in
-        acc := !acc +. (float_of_int toggles *. c))
-      sim.Sim.node_toggles;
+        acc := !acc +. (toggles *. c))
+      node_toggles;
     !acc *. 0.5 *. model.vdd *. model.vdd
   in
   let power_w = if time_s > 0. then energy /. time_s else 0. in
+  let num_signals = Nl.num_nodes network in
   let toggle_rate =
-    if time_s > 0. && sim.Sim.num_signals > 0 then
-      float_of_int sim.Sim.total_toggles
-      /. float_of_int sim.Sim.num_signals /. time_s /. 1e6
+    if time_s > 0. && num_signals > 0 then
+      total_toggles /. float_of_int num_signals /. time_s /. 1e6
     else 0.
   in
   {
     dynamic_power_mw = power_w *. 1e3;
     toggle_rate_mhz = toggle_rate;
-    total_toggles = sim.Sim.total_toggles;
+    total_toggles = int_of_float (Float.round total_toggles);
     sim_glitch_fraction =
-      (if sim.Sim.total_toggles > 0 then
-         float_of_int sim.Sim.glitch_toggles
-         /. float_of_int sim.Sim.total_toggles
-       else 0.);
+      (if total_toggles > 0. then glitch_toggles /. total_toggles else 0.);
     clock_period_ns = period_ns;
     frequency_mhz = (if period_ns > 0. then 1000. /. period_ns else 0.);
   }
+
+let analyze model ~network ~sim =
+  analyze_counts model ~network
+    ~node_toggles:(Array.map float_of_int sim.Sim.node_toggles)
+    ~total_toggles:(float_of_int sim.Sim.total_toggles)
+    ~glitch_toggles:(float_of_int sim.Sim.glitch_toggles)
+    ~cycles:sim.Sim.cycles
+
+let analyze_static model ~network ~analysis ~cycles =
+  let fcycles = float_of_int cycles in
+  let node_toggles =
+    Array.map (fun t -> t *. fcycles) (Hlp_static.Analysis.node_toggles analysis)
+  in
+  analyze_counts model ~network ~node_toggles
+    ~total_toggles:(Hlp_static.Analysis.total_toggles analysis *. fcycles)
+    ~glitch_toggles:(Hlp_static.Analysis.glitch_toggles analysis *. fcycles)
+    ~cycles

@@ -23,6 +23,15 @@ val default_model : model
 (** [clock_period_ns model ~depth] for a [depth]-level LUT network. *)
 val clock_period_ns : model -> depth:int -> float
 
+(** How toggle counts are obtained: random-vector simulation ([`Sim],
+    the default), the simulation-free static analyzer ([`Static]), or
+    both side by side ([`Both] — simulate, but also report the static
+    estimate for comparison). *)
+type estimator = [ `Sim | `Static | `Both ]
+
+val estimator_name : estimator -> string
+val estimator_of_string : string -> estimator option
+
 (** Per-design power/toggle report. *)
 type report = {
   dynamic_power_mw : float;
@@ -41,3 +50,15 @@ type report = {
     frequency. *)
 val analyze :
   model -> network:Hlp_netlist.Netlist.t -> sim:Sim.result -> report
+
+(** [analyze_static model ~network ~analysis ~cycles] is {!analyze}
+    with the simulator's measured counts replaced by the static
+    analyzer's per-cycle estimates scaled to [cycles] clock periods
+    (see {!Static_model.cycles}); [sim_glitch_fraction] carries the
+    static glitch fraction. *)
+val analyze_static :
+  model ->
+  network:Hlp_netlist.Netlist.t ->
+  analysis:Hlp_static.Analysis.t ->
+  cycles:int ->
+  report

@@ -1,0 +1,50 @@
+(** Schedule-aware input statistics for the static activity analyzer.
+
+    {!Hlp_static.Analysis} is netlist-generic: it needs, per primary
+    input, a probability, a zero-delay activity and a transition
+    density.  For an elaborated datapath those are not free parameters —
+    the network's inputs are register bits and FSM control lines, and
+    the simulator drives them in a fixed pattern (§ the [Sim]
+    semantics): each vector starts from the all-false canonical state
+    with registers cleared, control lines follow the control table
+    step by step, and register values change only at scheduled loads.
+
+    This module derives the input model from exactly that pattern
+    without any gate-level simulation: control-line statistics are
+    {e exact} (the control table is replayed), register-bit statistics
+    come from a word-level Monte-Carlo replay of the schedule — integer
+    adds, subtracts and multiplies over the control table, the same
+    semantics as [Datapath.golden_eval], over a few hundred random
+    input samples.  The word-level replay captures the value
+    correlations a closed-form per-bit model misses (a product's low
+    bits are biased toward 0; an accumulator's next word is correlated
+    with its current one) and touches registers-times-steps words per
+    sample, a vanishing fraction of what the bit-parallel engine
+    evaluates. *)
+
+(** Number of word-level replay samples {!inputs} draws by default. *)
+val default_samples : int
+
+(** [inputs ?samples elab] is the per-primary-input statistic vector,
+    indexed like the elaborated network's (and any of its LUT
+    mappings') [Netlist.inputs].  The replay draws from a fixed
+    internal seed, so the result is deterministic.
+    @raise Invalid_argument if [samples < 1]. *)
+val inputs : ?samples:int -> Elaborate.t -> Hlp_static.Analysis.input array
+
+(** [analyze ?glitch_gain ?samples elab ~network] runs the static sweep
+    over [network] (the elaborated gate netlist or its LUT mapping —
+    both share the input layout) under the schedule-aware input model.
+    @raise Invalid_argument if [samples < 1] or [network]'s input count
+    does not match the datapath's. *)
+val analyze :
+  ?glitch_gain:float ->
+  ?samples:int ->
+  Elaborate.t ->
+  network:Hlp_netlist.Netlist.t ->
+  Hlp_static.Analysis.t
+
+(** [cycles elab ~vectors] is the simulated-cycle count a [vectors]-long
+    {!Sim} run of this datapath would report: one cycle per (vector,
+    control step) pair. *)
+val cycles : Elaborate.t -> vectors:int -> int

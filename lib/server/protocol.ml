@@ -10,6 +10,7 @@ type bind_params = {
   vectors : int;
   port_assign : bool;
   engine : string;
+  estimator : string;
   graph : Cdfg.t option;
 }
 
@@ -23,6 +24,7 @@ let default_bind_params =
     vectors = 100;
     port_assign = false;
     engine = "auto";
+    estimator = "sim";
     graph = None;
   }
 
@@ -193,6 +195,7 @@ let json_of_bind_params p : Json.t =
        ("vectors", Json.Int p.vectors);
        ("port_assign", Json.Bool p.port_assign);
        ("engine", Json.String p.engine);
+       ("estimator", Json.String p.estimator);
      ]
     @
     match p.graph with
@@ -532,6 +535,16 @@ let decode_request line =
                  \"parallel\"";
               d.engine
         in
+        let estimator =
+          let s = field "estimator" Json.to_string_opt ~default:d.estimator in
+          match Hlp_rtl.Power.estimator_of_string s with
+          | Some e -> Hlp_rtl.Power.estimator_name e
+          | None ->
+              problem
+                "parameter \"estimator\" must be \"sim\", \"static\" or \
+                 \"both\"";
+              d.estimator
+        in
         let p =
           {
             bench = field "bench" Json.to_string_opt ~default:d.bench;
@@ -541,6 +554,7 @@ let decode_request line =
             vectors = pos_int "vectors" ~default:d.vectors;
             port_assign = field "port_assign" Json.to_bool ~default:false;
             engine;
+            estimator;
             graph;
           }
         in

@@ -85,6 +85,10 @@ type bind_params = {
   engine : string;
       (** simulation engine, canonicalized to ["auto"], ["scalar"] or
           ["parallel"] (see {!Hlp_rtl.Sim.engine_of_string}) *)
+  estimator : string;
+      (** power estimator for [flow], canonicalized to ["sim"],
+          ["static"] or ["both"]
+          (see {!Hlp_rtl.Power.estimator_of_string}) *)
   graph : Hlp_cdfg.Cdfg.t option;
       (** inline CDFG, mutually exclusive with [bench] *)
 }

@@ -182,12 +182,17 @@ let handle_flow t ~checkpoint (p : Protocol.bind_params) =
     Option.value ~default:Hlp_rtl.Sim.Auto
       (Hlp_rtl.Sim.engine_of_string p.engine)
   in
+  let estimator =
+    Option.value ~default:`Sim
+      (Hlp_rtl.Power.estimator_of_string p.estimator)
+  in
   let config =
     {
       Flow.default_config with
       Flow.width = p.width;
       vectors = p.vectors;
       engine;
+      estimator;
     }
   in
   let report =

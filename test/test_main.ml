@@ -28,6 +28,7 @@ let () =
       ("lint_netlist", Test_lint_netlist.suite);
       ("lint_mapped", Test_lint_mapped.suite);
       ("lint_flow", Test_lint_flow.suite);
+      ("static", Test_static.suite);
       ("sim_parallel", Test_sim_parallel.suite);
       ("protocol", Test_protocol.suite);
       ("server", Test_server.suite);
