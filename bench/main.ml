@@ -1050,9 +1050,236 @@ let loadgen socket =
     (1000. *. sorted.(Array.length sorted - 1));
   if Atomic.get errors > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Chaos loadgen (HLP_LOADGEN_CHAOS=1): a time-bounded soak that mixes
+   real work with adversity — random mid-request disconnects, torn
+   request frames, tiny deadlines, hostile frames, and sustained
+   queue-capacity pressure.  The daemon must answer every readable
+   frame with a decodable reply, never say [internal], and (when
+   HLP_LOADGEN_SERVER_PID points at it) end the run with exactly its
+   quiescent fd set and a flat RSS. *)
+
+let chaos_loadgen socket =
+  let module P = Hlp_server.Protocol in
+  let module J = Hlp_server.Json in
+  let env name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let clients = max 1 (env "HLP_LOADGEN_CLIENTS" 4) in
+  let seconds = float_of_int (max 1 (env "HLP_LOADGEN_SECONDS" 30)) in
+  let server_pid = Sys.getenv_opt "HLP_LOADGEN_SERVER_PID" in
+  let fd_count pid =
+    try Array.length (Sys.readdir (Printf.sprintf "/proc/%s/fd" pid))
+    with Sys_error _ -> -1
+  in
+  let rss_bytes pid =
+    try
+      let ic = open_in (Printf.sprintf "/proc/%s/statm" pid) in
+      let line = input_line ic in
+      close_in ic;
+      match String.split_on_char ' ' line with
+      | _ :: resident :: _ -> int_of_string resident * 4096
+      | _ -> 0
+    with Sys_error _ | Failure _ | End_of_file -> 0
+  in
+  let seed = env "HLP_LOADGEN_SEED" 4242 in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.printf
+    "chaos: %d clients for %.0f s against %s (seed %d)\n%!" clients seconds
+    socket seed;
+  let ok = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  let disconnects = Atomic.make 0 in
+  let failures = Atomic.make 0 in
+  let codes_mu = Mutex.create () in
+  let codes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let count_code c =
+    Mutex.lock codes_mu;
+    Hashtbl.replace codes c
+      (1 + Option.value ~default:0 (Hashtbl.find_opt codes c));
+    Mutex.unlock codes_mu
+  in
+  let fail_loud what =
+    Atomic.incr failures;
+    Printf.eprintf "chaos FAILURE: %s\n%!" what
+  in
+  let hostile_frames =
+    [|
+      "{\"op\": \"ping\", ";
+      "[1, 2, 3]";
+      "{\"id\": 1, \"op\": \"frobnicate\"}";
+      "{\"id\": 1, \"op\": \"bind\", \"params\": {\"bench\": \"pr\", \
+       \"alpha\": 1e999}}";
+      "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+       \"model\": {\"vdd\": 5e-324}}}";
+      "{\"id\": 1, \"op\": \"stats\", \"op\": \"stats\"}";
+      "{\"id\": 1, \"op\": \"bind\", \"params\": {\"graph\": {\"inputs\": 1, \
+       \"ops\": [{\"kind\": \"add\", \"left\": {\"op\": 0}, \"right\": \
+       {\"input\": 0}}], \"outputs\": [{\"op\": 0}]}}}";
+    |]
+  in
+  (* Warm round, then quiesce and capture the daemon's baseline fd set:
+     after every client is gone, the fd table of a healthy daemon is
+     exactly its listeners + self-pipe, so any end-of-run excess is a
+     leak. *)
+  let baseline_fds, baseline_rss =
+    match server_pid with
+    | None -> (-1, 0)
+    | Some pid ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        P.write_frame fd
+          (P.encode_request
+             { P.id = J.Int 0; deadline_ms = None; op = P.Ping 0 });
+        ignore (P.read_frame (P.reader_of_fd fd));
+        Unix.close fd;
+        Thread.delay 0.3;
+        (fd_count pid, rss_bytes pid)
+  in
+  let stop_at = Unix.gettimeofday () +. seconds in
+  let client_body c_idx =
+    let rand = Random.State.make [| seed; c_idx |] in
+    let ri n = Random.State.int rand n in
+    let conn = ref None in
+    let get_conn () =
+      match !conn with
+      | Some c -> c
+      | None ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let c = (fd, P.reader_of_fd fd) in
+          conn := Some c;
+          c
+    in
+    let drop_conn () =
+      (match !conn with
+      | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      conn := None
+    in
+    let encode_random_request () =
+      let op =
+        match ri 6 with
+        | 0 | 1 -> P.Ping (ri 30)
+        | 2 ->
+            P.Bind
+              { P.default_bind_params with P.bench = "pr"; width = 4;
+                vectors = 20 }
+        | 3 -> P.Stats
+        | 4 ->
+            P.Lint
+              { P.lint_bench = Some "pr"; lint_binder = "hlpower";
+                lint_width = 4 }
+        | _ -> P.Ping 0
+      in
+      let deadline_ms = if ri 4 = 0 then Some (1 + ri 25) else None in
+      P.encode_request { P.id = J.Int (ri 1_000_000); deadline_ms; op }
+    in
+    let read_reply ~frame =
+      let _, reader = get_conn () in
+      match P.read_frame reader with
+      | exception (Unix.Unix_error _ | Sys_error _) -> drop_conn ()
+      | `Eof | `Too_large _ -> drop_conn ()
+      | `Frame reply -> (
+          match P.decode_reply reply with
+          | Error msg ->
+              fail_loud
+                (Printf.sprintf "undecodable reply for %s: %s"
+                   (String.sub frame 0 (min 80 (String.length frame)))
+                   msg)
+          | Ok { P.payload = P.Result _; _ } -> Atomic.incr ok
+          | Ok { P.payload = P.Error { code; _ }; _ } ->
+              count_code (P.error_code_to_string code);
+              if code = P.Internal then
+                fail_loud ("internal error for frame " ^ frame)
+              else Atomic.incr rejected)
+    in
+    while Unix.gettimeofday () < stop_at do
+      match ri 10 with
+      | 0 ->
+          (* mid-request disconnect: send, never read, vanish *)
+          let fd, _ = get_conn () in
+          (try P.write_frame fd (encode_random_request ())
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          drop_conn ();
+          Atomic.incr disconnects
+      | 1 ->
+          (* torn request frame: a prefix with no newline, then EOF *)
+          let fd, _ = get_conn () in
+          let line = encode_random_request () in
+          let n = 1 + ri (String.length line - 1) in
+          (try
+             ignore (Unix.write_substring fd line 0 n)
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          drop_conn ();
+          Atomic.incr disconnects
+      | 2 ->
+          (* hostile frame; the reply must still be structured *)
+          let frame = hostile_frames.(ri (Array.length hostile_frames)) in
+          let fd, _ = get_conn () in
+          (try
+             P.write_frame fd frame;
+             read_reply ~frame
+           with Unix.Unix_error _ | Sys_error _ -> drop_conn ())
+      | 3 ->
+          (* burst: sustained queue pressure in one write, then read
+             every reply back *)
+          let burst = 4 + ri 8 in
+          let frames = List.init burst (fun _ -> encode_random_request ()) in
+          let fd, _ = get_conn () in
+          (try
+             List.iter (fun f -> P.write_frame fd f) frames;
+             List.iter (fun f -> read_reply ~frame:f) frames
+           with Unix.Unix_error _ | Sys_error _ -> drop_conn ())
+      | _ -> (
+          let frame = encode_random_request () in
+          let fd, _ = get_conn () in
+          try
+            P.write_frame fd frame;
+            read_reply ~frame
+          with Unix.Unix_error _ | Sys_error _ -> drop_conn ())
+    done;
+    drop_conn ()
+  in
+  let threads = List.init clients (fun i -> Thread.create client_body i) in
+  List.iter Thread.join threads;
+  (* Quiesce, then hold the daemon to its baseline: zero leaked fds,
+     flat RSS. *)
+  (match server_pid with
+  | None -> ()
+  | Some pid ->
+      Thread.delay 0.5;
+      let end_fds = fd_count pid and end_rss = rss_bytes pid in
+      Printf.printf "chaos: daemon fds %d -> %d, rss %.1f MiB -> %.1f MiB\n%!"
+        baseline_fds end_fds
+        (float_of_int baseline_rss /. 1048576.)
+        (float_of_int end_rss /. 1048576.);
+      if baseline_fds >= 0 && end_fds > baseline_fds then
+        fail_loud
+          (Printf.sprintf "fd leak: %d fds at baseline, %d after soak"
+             baseline_fds end_fds);
+      if end_rss - baseline_rss > 64 * 1024 * 1024 then
+        fail_loud
+          (Printf.sprintf "RSS grew %d MiB over the soak"
+             ((end_rss - baseline_rss) / 1048576)));
+  Printf.printf "chaos: %d ok, %d rejected, %d disconnects injected\n"
+    (Atomic.get ok) (Atomic.get rejected) (Atomic.get disconnects);
+  Mutex.lock codes_mu;
+  Hashtbl.iter (fun c n -> Printf.printf "chaos:   %-18s %d\n" c n) codes;
+  Mutex.unlock codes_mu;
+  if Atomic.get failures > 0 then begin
+    Printf.eprintf "chaos: %d failures\n%!" (Atomic.get failures);
+    exit 1
+  end;
+  Printf.printf "chaos: clean soak\n%!"
+
 let () =
   match Sys.getenv_opt "HLP_LOADGEN" with
-  | Some socket when String.trim socket <> "" -> loadgen socket; exit 0
+  | Some socket when String.trim socket <> "" ->
+      (match Sys.getenv_opt "HLP_LOADGEN_CHAOS" with
+      | Some ("1" | "true" | "yes") -> chaos_loadgen socket
+      | _ -> loadgen socket);
+      exit 0
   | _ -> ()
 
 let () =

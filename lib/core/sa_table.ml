@@ -149,12 +149,18 @@ let find_cached t key =
   (r, from_disk)
 
 (* Every value crossing the cache boundary must be a usable Eq. 4
-   denominator: finite and strictly positive.  A zero or negative entry
-   (only reachable via a hand-edited cache file) would yield an infinite
-   edge weight that silently dominates the matching. *)
+   denominator: finite, strictly positive and not subnormal.  A zero or
+   negative entry (only reachable via a hand-edited cache file) would
+   yield an infinite edge weight that silently dominates the matching;
+   a subnormal like 5e-324 passes a positivity test yet overflows the
+   very first 1/sa it feeds. *)
 let check_sa ~what sa =
-  if not (Float.is_finite sa) || sa <= 0. then
-    failwith (Printf.sprintf "Sa_table: non-positive SA %g from %s" sa what)
+  if
+    (not (Float.is_finite sa))
+    || sa <= 0.
+    || Float.classify_float sa = Float.FP_subnormal
+  then
+    failwith (Printf.sprintf "Sa_table: unusable SA %g from %s" sa what)
 
 let lookup t cls ~left ~right =
   if left < 1 || right < 1 then invalid_arg "Sa_table.lookup: bad mux size";
@@ -276,8 +282,11 @@ let parse_row lineno line =
         | Some f -> f
         | None -> fail_line lineno "bad float %s" sa_s
       in
-      if not (Float.is_finite sa) || sa <= 0. then
-        fail_line lineno "non-positive SA %s for %s (%d,%d)" sa_s cls_s l r;
+      if
+        (not (Float.is_finite sa))
+        || sa <= 0.
+        || Float.classify_float sa = Float.FP_subnormal
+      then fail_line lineno "unusable SA %s for %s (%d,%d)" sa_s cls_s l r;
       ((cls, l, r), sa)
   | _ -> fail_line lineno "expected `class left right sa` (%d fields)"
            (List.length fields)

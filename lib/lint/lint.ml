@@ -80,6 +80,13 @@ let catalog =
         ("S007", D.Error, "inline graph exceeds an admission size limit");
         ("S008", D.Error, "inline graph reference invalid (self, forward \
                            or out of range)");
+        ("S009", D.Error, "numeric parameter is not a usable number \
+                           (infinite, NaN or subnormal)");
+        ("S010", D.Error, "duplicate key in a request object");
+        ("S011", D.Error, "power-model override field hostile (non-finite, \
+                           subnormal or out of physical range)");
+        ("S012", D.Error, "frame exceeds a structural resource limit \
+                           (byte cap or nesting depth)");
       ]
 
 (* --- driver ----------------------------------------------------------- *)

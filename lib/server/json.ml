@@ -150,11 +150,25 @@ let parse_number st =
         | Some f -> Float f
         | None -> fail st (Printf.sprintf "invalid number %S" text))
 
-let rec parse_value st =
+(* The parser recurses once per nesting level, so an adversarial
+   "[[[[..." frame would otherwise convert O(frame bytes) into an OCaml
+   stack overflow — an exception no reasonable handler catches, killing
+   the connection thread.  The cap turns that into an ordinary parse
+   error long before the stack is at risk. *)
+let default_max_depth = 512
+let depth_error_prefix = "nesting deeper than "
+
+let is_depth_error msg =
+  let n = String.length depth_error_prefix in
+  String.length msg >= n && String.sub msg 0 n = depth_error_prefix
+
+let rec parse_value st ~depth =
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
   | Some '{' ->
+      if depth <= 0 then
+        fail st (depth_error_prefix ^ "the limit allows");
       advance st;
       skip_ws st;
       if peek st = Some '}' then (
@@ -166,7 +180,7 @@ let rec parse_value st =
           let key = parse_string st in
           skip_ws st;
           expect st ':';
-          let value = parse_value st in
+          let value = parse_value st ~depth:(depth - 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -179,6 +193,8 @@ let rec parse_value st =
         in
         members []
   | Some '[' ->
+      if depth <= 0 then
+        fail st (depth_error_prefix ^ "the limit allows");
       advance st;
       skip_ws st;
       if peek st = Some ']' then (
@@ -186,7 +202,7 @@ let rec parse_value st =
         List [])
       else
         let rec elements acc =
-          let value = parse_value st in
+          let value = parse_value st ~depth:(depth - 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -205,9 +221,9 @@ let rec parse_value st =
   | Some ('-' | '0' .. '9') -> parse_number st
   | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
 
-let parse s =
+let parse ?(max_depth = default_max_depth) s =
   let st = { src = s; pos = 0 } in
-  match parse_value st with
+  match parse_value st ~depth:max_depth with
   | v ->
       skip_ws st;
       if st.pos < String.length s then

@@ -34,8 +34,22 @@ type t =
 
 (** [parse s] parses one JSON value occupying all of [s] (surrounding
     whitespace allowed).  [Error (pos, msg)] carries the 0-based byte
-    offset of the failure. *)
-val parse : string -> (t, int * string) result
+    offset of the failure.
+
+    The parser recurses once per container nesting level; [max_depth]
+    (default {!default_max_depth}) bounds that recursion so a hostile
+    ["[[[[..."] frame becomes a parse error instead of a stack
+    overflow.  {!is_depth_error} recognizes that error's message, so
+    the protocol layer can report it under its own diagnostic code. *)
+val parse : ?max_depth:int -> string -> (t, int * string) result
+
+(** Default container-nesting cap: 512 levels, far above any legitimate
+    request (the deepest real frame nests 6). *)
+val default_max_depth : int
+
+(** [is_depth_error msg] is true iff [msg] is the error message
+    produced when {!parse} hits its [max_depth]. *)
+val is_depth_error : string -> bool
 
 (** [to_string v] prints [v] on one line (no newlines — a printed value
     is always a valid protocol frame body). *)

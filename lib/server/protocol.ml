@@ -1,6 +1,7 @@
 module Diagnostic = Hlp_lint.Diagnostic
 module Cdfg = Hlp_cdfg.Cdfg
 module Sim = Hlp_rtl.Sim
+module Power = Hlp_rtl.Power
 
 type bind_params = {
   bench : string;
@@ -12,6 +13,7 @@ type bind_params = {
   engine : string;
   estimator : string;
   graph : Cdfg.t option;
+  model : Power.model option;
 }
 
 (* Defaults mirror the CLI bind command's option defaults. *)
@@ -26,7 +28,16 @@ let default_bind_params =
     engine = "auto";
     estimator = "sim";
     graph = None;
+    model = None;
   }
+
+(* A float parameter the pipeline can actually compute with.  JSON
+   cannot spell NaN, but it can spell [1e999] (parses to infinity) and
+   [5e-324] (a subnormal whose reciprocal overflows) — both poison any
+   downstream 1/x or accumulation, so they are rejected at the parse
+   boundary rather than deep in the estimator. *)
+let usable_number f =
+  Float.is_finite f && Float.classify_float f <> Float.FP_subnormal
 
 (* Inline-graph admission limits, enforced before any per-element
    validation so an oversized request costs O(1) work past the size
@@ -185,6 +196,17 @@ let json_of_graph (g : Cdfg.t) : Json.t =
       ("outputs", List (List.map json_of_operand (Cdfg.outputs g)));
     ]
 
+let json_of_model (m : Power.model) : Json.t =
+  Obj
+    [
+      ("vdd", Float m.vdd);
+      ("c_base_f", Float m.c_base_f);
+      ("c_fanout_f", Float m.c_fanout_f);
+      ("t_lut_ns", Float m.t_lut_ns);
+      ("t_route_ns", Float m.t_route_ns);
+      ("t_seq_ns", Float m.t_seq_ns);
+    ]
+
 let json_of_bind_params p : Json.t =
   Json.Obj
     ([
@@ -197,10 +219,13 @@ let json_of_bind_params p : Json.t =
        ("engine", Json.String p.engine);
        ("estimator", Json.String p.estimator);
      ]
+    @ (match p.graph with
+      | None -> []
+      | Some g -> [ ("graph", json_of_graph g) ])
     @
-    match p.graph with
+    match p.model with
     | None -> []
-    | Some g -> [ ("graph", json_of_graph g) ])
+    | Some m -> [ ("model", json_of_model m) ])
 
 let json_of_op op : (string * Json.t) list =
   let params : Json.t option =
@@ -453,16 +478,133 @@ let decode_graph ~add v =
       bad "S003" Design "parameter \"graph\" must be an object";
       None
 
+(* Power-model override admission.  Every field is a physical constant
+   the estimator divides by or accumulates over millions of events, so
+   a hostile value (NaN via 1e999-0-style tricks is unspellable in
+   JSON, but infinity, subnormals and non-positive capacitances are
+   not) must die here, not as a NaN power figure three layers down.
+   [vdd] and [c_base_f] must be strictly positive (both are divisors /
+   sole factors); per-unit adders may be zero but not negative.
+
+   Each field also has a generous physical ceiling: a *finite* 1e308
+   volt supply passes every NaN/infinity test yet overflows vdd^2
+   downstream into an [inf] that the report printer would emit as
+   unparseable JSON (found by hlp_fuzz).  The caps are orders of
+   magnitude above any real silicon (100 V supply, 1 mF per net, 1 s
+   per LUT level), so they bound every downstream product without
+   constraining legitimate calibration. *)
+let model_fields =
+  [
+    ("vdd", (`Positive, 100.));
+    ("c_base_f", (`Positive, 1e-3));
+    ("c_fanout_f", (`Non_negative, 1e-3));
+    ("t_lut_ns", (`Non_negative, 1e9));
+    ("t_route_ns", (`Non_negative, 1e9));
+    ("t_seq_ns", (`Non_negative, 1e9));
+  ]
+
+let decode_model ~add v =
+  match v with
+  | Json.Obj kvs ->
+      let ok = ref true in
+      let bad code fmt =
+        Printf.ksprintf
+          (fun m ->
+            ok := false;
+            add (Diagnostic.error code Diagnostic.Design "%s" m))
+          fmt
+      in
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k model_fields) then
+            bad "S003" "unknown model field %S" k)
+        kvs;
+      let field name current =
+        let kind, ceiling = List.assoc name model_fields in
+        match Json.member name v with
+        | None | Some Json.Null -> current
+        | Some jv -> (
+            match Json.to_float jv with
+            | None ->
+                bad "S003" "model field %S must be a number" name;
+                current
+            | Some f ->
+                if not (usable_number f) then (
+                  bad "S011"
+                    "model field %S is not a usable number (infinite, NaN \
+                     or subnormal): %s"
+                    name (Json.to_string jv);
+                  current)
+                else if kind = `Positive && f <= 0. then (
+                  bad "S011" "model field %S must be strictly positive" name;
+                  current)
+                else if f < 0. then (
+                  bad "S011" "model field %S must be non-negative" name;
+                  current)
+                else if f > ceiling then (
+                  bad "S011"
+                    "model field %S is out of physical range (max %g)" name
+                    ceiling;
+                  current)
+                else f)
+      in
+      let d = Power.default_model in
+      let m =
+        {
+          Power.vdd = field "vdd" d.Power.vdd;
+          c_base_f = field "c_base_f" d.Power.c_base_f;
+          c_fanout_f = field "c_fanout_f" d.Power.c_fanout_f;
+          t_lut_ns = field "t_lut_ns" d.Power.t_lut_ns;
+          t_route_ns = field "t_route_ns" d.Power.t_route_ns;
+          t_seq_ns = field "t_seq_ns" d.Power.t_seq_ns;
+        }
+      in
+      if !ok then Some m else None
+  | _ ->
+      add
+        (Diagnostic.error "S003" Diagnostic.Design
+           "parameter \"model\" must be an object");
+      None
+
+(* [Json.member] silently returns the first binding of a duplicated
+   key, so {"alpha":0.1,"alpha":99} would validate one value and — were
+   a different reader to pick the last binding — execute another.
+   Reject the ambiguity outright, everywhere in the frame. *)
+let rec check_duplicate_keys ~add path (v : Json.t) =
+  match v with
+  | Json.Obj kvs ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (k, v') ->
+          if Hashtbl.mem seen k then
+            add
+              (Diagnostic.error "S010" Diagnostic.Design
+                 "duplicate key %S in %s" k path)
+          else Hashtbl.add seen k ();
+          check_duplicate_keys ~add (path ^ "." ^ k) v')
+        kvs
+  | Json.List vs ->
+      List.iteri
+        (fun i v' ->
+          check_duplicate_keys ~add (Printf.sprintf "%s[%d]" path i) v')
+        vs
+  | _ -> ()
+
 let decode_request line =
   match Json.parse line with
   | Error (pos, msg) ->
+      (* Exhausting the parser's nesting budget is a resource-limit
+         rejection (S012), not a syntax error: the frame may be
+         perfectly well-formed JSON, just hostile to a recursive
+         reader. *)
+      let code = if Json.is_depth_error msg then "S012" else "S001" in
       Stdlib.Error
         {
           err_code = Parse_error;
           err_id = Json.Null;
           err_diagnostics =
             [
-              Diagnostic.error "S001" (Line 1)
+              Diagnostic.error code (Line 1)
                 "malformed frame (byte %d: %s): %s" pos msg (excerpt line);
             ];
         }
@@ -481,6 +623,7 @@ let decode_request line =
         }
   | Ok (Json.Obj _ as json) -> (
       let problems = ref [] in
+      let add_problem diag = problems := diag :: !problems in
       let problem fmt =
         Printf.ksprintf
           (fun m ->
@@ -488,6 +631,7 @@ let decode_request line =
               Diagnostic.error "S003" Design "%s" m :: !problems)
           fmt
       in
+      check_duplicate_keys ~add:add_problem "request" json;
       let id = Option.value ~default:Json.Null (Json.member "id" json) in
       let params =
         Option.value ~default:(Json.Obj []) (Json.member "params" json)
@@ -520,10 +664,12 @@ let decode_request line =
         let graph =
           match Json.member "graph" params with
           | None | Some Json.Null -> None
-          | Some v ->
-              decode_graph
-                ~add:(fun diag -> problems := diag :: !problems)
-                v
+          | Some v -> decode_graph ~add:add_problem v
+        in
+        let model =
+          match Json.member "model" params with
+          | None | Some Json.Null -> None
+          | Some v -> decode_model ~add:add_problem v
         in
         let engine =
           let s = field "engine" Json.to_string_opt ~default:d.engine in
@@ -556,6 +702,7 @@ let decode_request line =
             engine;
             estimator;
             graph;
+            model;
           }
         in
         if graph_given then begin
@@ -567,8 +714,13 @@ let decode_request line =
           problem "parameter \"bench\" or \"graph\" is required";
         if not (p.binder = "hlpower" || p.binder = "lopass") then
           problem "parameter \"binder\" must be \"hlpower\" or \"lopass\"";
-        if not (Float.is_finite p.alpha && p.alpha >= 0. && p.alpha <= 1.)
-        then problem "parameter \"alpha\" must be within [0, 1]";
+        if not (usable_number p.alpha) then
+          add_problem
+            (Diagnostic.error "S009" Design
+               "parameter \"alpha\" is not a usable number (infinite, NaN \
+                or subnormal)")
+        else if not (p.alpha >= 0. && p.alpha <= 1.) then
+          problem "parameter \"alpha\" must be within [0, 1]";
         if p.width > max_width then
           problem "parameter \"width\" must be within 1..%d (got %d)"
             max_width p.width;
@@ -610,6 +762,14 @@ let decode_request line =
               }
             in
             if p.ex_bench = "" then problem "parameter \"bench\" is required";
+            List.iter
+              (fun a ->
+                if not (usable_number a) then
+                  add_problem
+                    (Diagnostic.error "S009" Design
+                       "parameter \"alphas\" contains a value that is not a \
+                        usable number (infinite, NaN or subnormal)"))
+              p.ex_alphas;
             Some (Explore p)
         | Some (Json.String "lint") ->
             let d = default_lint_params in
@@ -836,10 +996,63 @@ let read_frame r =
   in
   loop ()
 
+(* [Unix.write] raises EINTR instead of retrying; a SIGTERM landing
+   mid-drain used to abort a frame halfway through the loop.  Retrying
+   EINTR here means a signal can no longer tear a frame on its own —
+   only a real write error can. *)
+let rec write_chunk fd data off len =
+  match Unix.write fd data off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_chunk fd data off len
+
 let write_frame fd line =
   let data = Bytes.of_string (line ^ "\n") in
   let len = Bytes.length data in
   let written = ref 0 in
   while !written < len do
-    written := !written + Unix.write fd data !written (len - !written)
+    written := !written + write_chunk fd data !written (len - !written)
   done
+
+type writer = {
+  wfd : Unix.file_descr;
+  wmu : Mutex.t;
+  mutable poisoned : bool;
+}
+
+let writer_of_fd fd = { wfd = fd; wmu = Mutex.create (); poisoned = false }
+let writer_poisoned w = w.poisoned
+
+(* A newline-delimited stream has no frame boundaries other than the
+   bytes themselves, so a frame that fails after a partial write leaves
+   the peer mid-line: every subsequent frame would be parsed as the
+   tail of the torn one.  Once that happens the only sound move is to
+   poison the connection — shut down the write side so the peer sees
+   EOF at the tear — and drop all later frames.  A failure with zero
+   bytes written leaves the stream intact and is reported as [`Error]:
+   the caller may drop that one reply without corrupting the next. *)
+let write_framed w line =
+  Mutex.lock w.wmu;
+  let result =
+    if w.poisoned then `Dropped
+    else begin
+      let data = Bytes.of_string (line ^ "\n") in
+      let len = Bytes.length data in
+      let written = ref 0 in
+      match
+        while !written < len do
+          written := !written + write_chunk w.wfd data !written (len - !written)
+        done
+      with
+      | () -> `Ok
+      | exception Unix.Unix_error _ ->
+          if !written = 0 then `Error
+          else begin
+            w.poisoned <- true;
+            (try Unix.shutdown w.wfd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            `Poisoned
+          end
+    end
+  in
+  Mutex.unlock w.wmu;
+  result

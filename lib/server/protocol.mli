@@ -36,11 +36,16 @@
 
     Error codes: [parse_error] (S001 — frame is not a JSON object; the
     diagnostic's [loc] is the byte offset and its message quotes the
-    offending line), [unknown_op] (S002), [bad_request] (S003 — bad
+    offending line; S012 — well-formed but nested beyond the parser's
+    recursion budget), [unknown_op] (S002), [bad_request] (S003 — bad
     parameter, unknown benchmark/binder; S007 — inline graph over an
     admission size limit; S008 — inline graph with a self, forward or
-    cyclic reference, or an out-of-range input/op index),
-    [frame_too_large], [overloaded] (bounded queue full — retry later),
+    cyclic reference, or an out-of-range input/op index; S009 — a
+    numeric parameter that parsed to infinity or a subnormal; S010 — a
+    duplicated object key anywhere in the frame; S011 — a hostile
+    power-model override field), [frame_too_large] (S012 — the frame
+    exceeded the reader's byte cap and was discarded unread),
+    [overloaded] (bounded queue full — retry later),
     [deadline_exceeded] (the request's deadline expired before or during
     execution), [draining] (daemon is shutting down; accepted work still
     completes), [internal].
@@ -91,9 +96,22 @@ type bind_params = {
           (see {!Hlp_rtl.Power.estimator_of_string}) *)
   graph : Hlp_cdfg.Cdfg.t option;
       (** inline CDFG, mutually exclusive with [bench] *)
+  model : Hlp_rtl.Power.model option;
+      (** per-request power/timing constant override; fields not given
+          keep {!Hlp_rtl.Power.default_model}'s values.  Every field is
+          validated at the parse boundary: non-finite and subnormal
+          values are rejected with S011, as are non-positive [vdd] /
+          [c_base_f] and negative per-unit adders. *)
 }
 
 val default_bind_params : bind_params
+
+(** [usable_number f] is true iff [f] is a value the estimator can
+    compute with: finite and not subnormal.  JSON cannot spell NaN, but
+    [1e999] parses to infinity and [5e-324] to a subnormal; parameters
+    failing this predicate are rejected with S009 (request numerics) or
+    S011 (power-model fields). *)
+val usable_number : float -> bool
 
 (** Admission limits for inline graphs, and the width cap; requests
     beyond them are rejected with S007 (sizes) / S003 (width) before
@@ -203,7 +221,10 @@ type decode_error = {
     problems are collected: the error side carries one diagnostic per
     offense (S001 malformed JSON, S002 unknown/missing op, S003 bad
     parameter, S007 oversized inline graph, S008 ill-formed inline
-    graph reference), never just the first. *)
+    graph reference, S009 non-finite/subnormal numeric parameter, S010
+    duplicate object key, S011 hostile power-model field, S012 nesting
+    deeper than the parser's recursion budget), never just the
+    first. *)
 val decode_request : string -> (request, decode_error) result
 
 val encode_reply : reply -> string
@@ -238,6 +259,34 @@ val reader_of_fd : ?max_frame:int -> Unix.file_descr -> reader
 val read_frame : reader -> [ `Frame of string | `Too_large of int | `Eof ]
 
 (** [write_frame fd line] writes [line] plus the ['\n'] terminator,
-    retrying short writes until complete.  @raise Unix.Unix_error on a
-    broken connection. *)
+    retrying short writes and EINTR until complete.
+    @raise Unix.Unix_error on a broken connection. *)
 val write_frame : Unix.file_descr -> string -> unit
+
+(** {2 Poisoning writer}
+
+    A newline-delimited stream has no framing beyond the bytes
+    themselves: if a frame fails {e after a partial write}, the peer is
+    left mid-line and every later frame would be parsed as the tail of
+    the torn one — silent cross-request corruption.  [writer] makes
+    that state explicit.  On a partial-write failure the connection is
+    {e poisoned}: its write side is shut down (so the peer sees EOF at
+    the tear, never a spliced frame) and all subsequent writes report
+    [`Dropped].  A failure before any byte left ([`Error]) leaves the
+    stream intact — only that reply is lost.  All operations are
+    serialized by an internal mutex, so concurrent completions cannot
+    interleave frames either. *)
+type writer
+
+val writer_of_fd : Unix.file_descr -> writer
+
+(** True once a partial-write failure has poisoned the stream. *)
+val writer_poisoned : writer -> bool
+
+(** [write_framed w line] writes one frame.
+    [`Ok]: fully written.  [`Error]: write failed with zero bytes sent;
+    the stream is still well-framed.  [`Poisoned]: write failed
+    mid-frame; the stream is torn, the write side has been shut down,
+    and every later call returns [`Dropped].  Never raises. *)
+val write_framed :
+  writer -> string -> [ `Ok | `Error | `Poisoned | `Dropped ]

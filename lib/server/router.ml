@@ -193,6 +193,10 @@ let handle_flow t ~checkpoint (p : Protocol.bind_params) =
       vectors = p.vectors;
       engine;
       estimator;
+      model =
+        (* Validated at the protocol boundary (S011); anything that
+           reaches here is finite, normal and in physical range. *)
+        Option.value ~default:Flow.default_config.Flow.model p.model;
     }
   in
   let report =
@@ -310,11 +314,17 @@ let handle_ping ~checkpoint ms =
   (* Sleep in short slices with a checkpoint between each, so a ping
      with a deadline exercises mid-job cancellation deterministically —
      the serving tests and the smoke job rely on this. *)
+  (* Raw monotonic, not the injectable {!Hlp_util.Clock.now}: the sleep
+     pacing is physical (a frozen fake timeline must not make a ping
+     sleep forever), while the deadline [checkpoint] between slices
+     stays on the injectable timeline. *)
   let slice = 0.01 in
-  let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+  let deadline =
+    Hlp_util.Clock.monotonic () +. (float_of_int ms /. 1000.)
+  in
   let rec nap () =
     checkpoint "ping";
-    let remaining = deadline -. Unix.gettimeofday () in
+    let remaining = deadline -. Hlp_util.Clock.monotonic () in
     if remaining > 0. then (
       Unix.sleepf (Float.min slice remaining);
       nap ())

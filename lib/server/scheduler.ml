@@ -1,4 +1,5 @@
 module Telemetry = Hlp_util.Telemetry
+module Clock = Hlp_util.Clock
 
 type stats = {
   workers : int;
@@ -14,7 +15,9 @@ type t = {
   mu : Mutex.t;
   nonempty : Condition.t;  (* queue gained an item, or draining began *)
   idle : Condition.t;  (* a job finished, or the queue emptied *)
-  queue : (unit -> unit) Queue.t;
+  (* Each entry carries its enqueue time (raw monotonic) so the pop
+     side can report queue-wait latency. *)
+  queue : (float * (unit -> unit)) Queue.t;
   capacity : int;
   workers : int;
   mutable draining : bool;
@@ -36,9 +39,11 @@ let rec worker t =
     Mutex.unlock t.mu;
     ())
   else begin
-    let job = Queue.pop t.queue in
+    let enqueued_at, job = Queue.pop t.queue in
     t.running <- t.running + 1;
     Mutex.unlock t.mu;
+    Telemetry.count "scheduler.queue_wait_ms"
+      (int_of_float ((Clock.monotonic () -. enqueued_at) *. 1000.));
     (try job ()
      with e ->
        (* The job owns its reply; a raise here means it failed before
@@ -87,7 +92,7 @@ let submit t job =
       t.rejected <- t.rejected + 1;
       `Overloaded)
     else (
-      Queue.push job t.queue;
+      Queue.push (Clock.monotonic (), job) t.queue;
       t.accepted <- t.accepted + 1;
       Condition.signal t.nonempty;
       `Accepted)

@@ -1,4 +1,5 @@
 module Telemetry = Hlp_util.Telemetry
+module Clock = Hlp_util.Clock
 
 type config = {
   socket_path : string;
@@ -25,14 +26,15 @@ let default_config =
 exception Expired
 
 (* Replies from concurrently completing jobs interleave on one socket;
-   the write mutex keeps each frame atomic.  The refcount keeps the fd
-   open while anyone may still write to it: the reader thread holds one
+   the writer serialises frames and poisons the stream on a torn write
+   (see {!Protocol.write_framed}).  The refcount keeps the fd open
+   while anyone may still write to it: the reader thread holds one
    reference for the connection's lifetime and every scheduled job holds
    one until its reply is sent, so a client EOF cannot close (and let
    the kernel recycle) an fd that a queued job will later write to. *)
 type conn = {
   fd : Unix.file_descr;
-  wmu : Mutex.t;  (* serialises frame writes *)
+  writer : Protocol.writer;
   rmu : Mutex.t;  (* guards [refs] *)
   mutable refs : int;
 }
@@ -108,7 +110,9 @@ let create ?(config = default_config) () =
     wake_r;
     wake_w;
     stop = Atomic.make false;
-    started_at = Unix.gettimeofday ();
+    (* Raw monotonic (not the injectable source): uptime is physical
+       elapsed time even when a test has installed a fake timeline. *)
+    started_at = Clock.monotonic ();
     conn_mu = Mutex.create ();
     conns = [];
   }
@@ -129,7 +133,7 @@ let stats_json t : Json.t =
   let s = Scheduler.stats t.scheduler in
   Json.Obj
     [
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("uptime_s", Json.Float (Clock.monotonic () -. t.started_at));
       ("draining", Json.Bool (Atomic.get t.stop));
       ( "scheduler",
         Json.Obj
@@ -163,19 +167,28 @@ let conn_release conn =
   Mutex.unlock conn.rmu;
   if close then try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
-(* Write failures mean the client left — the work's result is simply
-   dropped, which is the only "dropped reply" the drain guarantee
-   permits (there is no one left to read it). *)
+(* A clean write failure (no bytes left) means the client left — the
+   work's result is simply dropped, which is the only "dropped reply"
+   the drain guarantee permits (there is no one left to read it).  A
+   torn write poisons the connection instead: the writer shuts the
+   stream down at the tear so no later frame can be spliced onto the
+   torn one's tail, and every subsequent reply on that connection is
+   dropped (counted separately — they are collateral of the tear, not
+   independent failures). *)
 let send conn reply =
-  Mutex.lock conn.wmu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wmu)
-    (fun () ->
-      try Protocol.write_frame conn.fd (Protocol.encode_reply reply)
-      with Unix.Unix_error _ | Sys_error _ ->
-        Telemetry.count "server.replies_unwritable" 1)
+  match Protocol.write_framed conn.writer (Protocol.encode_reply reply) with
+  | `Ok -> ()
+  | `Error -> Telemetry.count "server.replies_unwritable" 1
+  | `Poisoned ->
+      Telemetry.count "server.replies_unwritable" 1;
+      Telemetry.count "server.conns_poisoned" 1
+  | `Dropped -> Telemetry.count "server.replies_dropped" 1
 
-let now () = Unix.gettimeofday ()
+(* Deadlines live on {!Clock.now}'s timeline: monotonic by default, so
+   an NTP step or a sysadmin's [date -s] can neither expire every
+   in-flight request at once nor extend them for hours — and
+   injectable, so tests can prove exactly that. *)
+let now () = Clock.now ()
 
 (* Execute one request on a worker domain: scoped telemetry, deadline
    checkpoints, structured failure containment. *)
@@ -260,10 +273,16 @@ let dispatch t conn (req : Protocol.request) =
       | `Overloaded ->
           conn_release conn;
           Telemetry.count "server.requests_overloaded" 1;
+          (* Report the actual load, not the configured capacity: a
+             client deciding how long to back off needs to know how
+             deep the line is, and "64 waiting" when the queue holds 3
+             told it the opposite of the truth. *)
+          let s = Scheduler.stats t.scheduler in
           send conn
             (Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
-               "queue full (%d waiting); retry later"
-               t.cfg.queue_capacity)
+               "queue full (%d queued, %d running, capacity %d); retry \
+                later"
+               s.Scheduler.queued s.Scheduler.running s.Scheduler.capacity)
       | `Draining ->
           conn_release conn;
           send conn
@@ -274,12 +293,25 @@ let serve_conn t entry =
   let conn = entry.conn in
   let reader = Protocol.reader_of_fd ~max_frame:t.cfg.max_frame conn.fd in
   let rec loop () =
+    (* A poisoned stream can never carry another reply, so reading
+       further requests would only burn workers on answers the client
+       cannot receive; close instead. *)
+    if Protocol.writer_poisoned conn.writer then ()
+    else
     match Protocol.read_frame reader with
     | `Eof -> ()
     | `Too_large n ->
         Telemetry.count "server.frames_too_large" 1;
         send conn
-          (Protocol.error_reply ~id:Json.Null Protocol.Frame_too_large
+          (Protocol.error_reply
+             ~diagnostics:
+               [
+                 Protocol.Diagnostic.error "S012" (Line 1)
+                   "frame of %d bytes exceeds the %d-byte limit and was \
+                    discarded unread"
+                   n t.cfg.max_frame;
+               ]
+             ~id:Json.Null Protocol.Frame_too_large
              "frame of %d bytes exceeds the %d-byte limit" n
              t.cfg.max_frame);
         loop ()
@@ -324,7 +356,7 @@ let accept_loop t =
                       let conn =
                         {
                           fd;
-                          wmu = Mutex.create ();
+                          writer = Protocol.writer_of_fd fd;
                           rmu = Mutex.create ();
                           refs = 1 (* the reader thread's reference *);
                         }

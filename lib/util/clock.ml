@@ -1,0 +1,10 @@
+external monotonic : unit -> float = "hlp_clock_monotonic"
+
+(* The fake source is read on every deadline check, concurrently from
+   worker domains and connection threads; an Atomic keeps the
+   install/restore race benign (readers see either the old or the new
+   source, never a torn value). *)
+let source : (unit -> float) Atomic.t = Atomic.make monotonic
+let now () = (Atomic.get source) ()
+let set_source f = Atomic.set source f
+let use_monotonic () = Atomic.set source monotonic

@@ -1,0 +1,41 @@
+(** Monotonic time for deadline and elapsed-time arithmetic.
+
+    The daemon's deadlines were originally computed from
+    [Unix.gettimeofday] — the wall clock, which NTP may step by
+    seconds (or, on a badly drifted host, hours) in either direction.
+    A backward step indefinitely extends every in-flight deadline; a
+    forward step spuriously expires them.  Everything that measures
+    {e durations} must therefore read a monotonic clock, which this
+    module provides (via [clock_gettime(CLOCK_MONOTONIC)]).
+
+    Two entry points, deliberately distinct:
+
+    - {!monotonic} is the raw hardware clock.  It cannot be faked and
+      never steps.  Use it for physical pacing — sleep loops, uptime,
+      throughput measurement.
+    - {!now} is the {e deadline timeline}: by default it is
+      {!monotonic}, but tests may inject a fake source with
+      {!set_source} to script time (freeze it, step it by ±1 h) and
+      prove that deadline logic follows this timeline and nothing
+      else.  Production code never calls {!set_source}.
+
+    Values from either function have an arbitrary epoch; only
+    differences are meaningful.  Never mix them with
+    [Unix.gettimeofday] timestamps. *)
+
+(** Raw monotonic seconds since an arbitrary epoch.  Never steps,
+    never goes backwards, cannot be faked. *)
+val monotonic : unit -> float
+
+(** The deadline timeline: {!monotonic} unless a test installed a fake
+    source.  All deadline and elapsed-time arithmetic in the serving
+    stack reads this. *)
+val now : unit -> float
+
+(** [set_source f] replaces the {!now} timeline with [f] — test-only,
+    for scripting clock steps.  The source must be cheap and safe to
+    call from any thread or domain. *)
+val set_source : (unit -> float) -> unit
+
+(** [use_monotonic ()] restores {!now} to the real monotonic clock. *)
+val use_monotonic : unit -> unit

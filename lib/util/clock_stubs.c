@@ -1,0 +1,20 @@
+/* CLOCK_MONOTONIC for Hlp_util.Clock.
+
+   The OCaml stdlib exposes only the wall clock (Unix.gettimeofday),
+   which NTP may step backwards or forwards at any moment — unusable
+   for deadlines.  POSIX CLOCK_MONOTONIC never steps; its epoch is
+   arbitrary (boot time on Linux), so values are only meaningful as
+   differences. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <time.h>
+
+CAMLprim value hlp_clock_monotonic(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("Hlp_util.Clock: clock_gettime(CLOCK_MONOTONIC) failed");
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

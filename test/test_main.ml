@@ -31,5 +31,6 @@ let () =
       ("static", Test_static.suite);
       ("sim_parallel", Test_sim_parallel.suite);
       ("protocol", Test_protocol.suite);
+      ("scheduler", Test_scheduler.suite);
       ("server", Test_server.suite);
     ]

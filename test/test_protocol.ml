@@ -607,6 +607,188 @@ let test_oversized_frame_bounded_memory () =
       | _ -> Alcotest.fail "expected trailing frame");
       Thread.join writer)
 
+(* --- hostile numerics, duplicate keys, depth, model overrides --- *)
+
+let test_nonfinite_alpha () =
+  (* JSON cannot spell NaN, but 1e999 parses to infinity and 5e-324 to
+     a subnormal; both must die at the boundary with S009. *)
+  List.iter
+    (fun lit ->
+      let e =
+        decode_err
+          (Printf.sprintf
+             "{\"id\": 1, \"op\": \"bind\", \"params\": {\"bench\": \"pr\", \
+              \"alpha\": %s}}"
+             lit)
+      in
+      check (lit ^ " is bad_request") true (e.P.err_code = P.Bad_request);
+      check (lit ^ " -> S009") true (has_code e "S009"))
+    [ "1e999"; "-1e999"; "5e-324" ];
+  (* The explore alpha grid is guarded the same way. *)
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"explore\", \"params\": {\"bench\": \"pr\", \
+       \"alphas\": [0.5, 1e999]}}"
+  in
+  check "explore alphas -> S009" true (has_code e "S009")
+
+let test_duplicate_keys () =
+  let e = decode_err "{\"id\": 1, \"op\": \"stats\", \"id\": 2}" in
+  check "duplicate id is bad_request" true (e.P.err_code = P.Bad_request);
+  check "duplicate id -> S010" true (has_code e "S010");
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"bind\", \"params\": {\"bench\": \"pr\", \
+       \"alpha\": 0.1, \"alpha\": 99}}"
+  in
+  check "duplicate param -> S010" true (has_code e "S010");
+  (* Nested objects are scanned too — a graph op with two "left"s is
+     just as ambiguous as a duplicated top-level field. *)
+  let e =
+    decode_err
+      (graph_req
+         "{\"inputs\": 1, \"ops\": [{\"kind\": \"add\", \"left\": \
+          {\"input\": 0}, \"left\": {\"input\": 0}, \"right\": {\"input\": \
+          0}}], \"outputs\": [{\"op\": 0}]}")
+  in
+  check "duplicate op operand -> S010" true (has_code e "S010")
+
+let test_nesting_depth_capped () =
+  let depth = Json.default_max_depth + 8 in
+  let line =
+    "{\"id\": 1, \"op\": \"ping\", \"params\": "
+    ^ String.concat "" (List.init depth (fun _ -> "["))
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+    ^ "}"
+  in
+  let e = decode_err line in
+  check "over-deep frame is parse_error" true (e.P.err_code = P.Parse_error);
+  check "over-deep frame -> S012" true (has_code e "S012");
+  (* Sane nesting is untouched. *)
+  match Json.parse "[[[[[[[[1]]]]]]]]" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "shallow nesting must still parse"
+
+let test_model_override_roundtrip () =
+  let m =
+    {
+      Hlp_rtl.Power.default_model with
+      Hlp_rtl.Power.vdd = 1.1;
+      c_fanout_f = 3.25e-15;
+    }
+  in
+  let req =
+    {
+      P.id = Json.Int 21;
+      deadline_ms = None;
+      op = P.Flow { P.default_bind_params with P.bench = "pr"; model = Some m };
+    }
+  in
+  let line = P.encode_request req in
+  match P.decode_request line with
+  | Ok req' -> check "model override round trips" true (req = req')
+  | Error _ -> Alcotest.failf "%s failed to decode" line
+
+let test_hostile_model_rejected () =
+  let model_req body =
+    Printf.sprintf
+      "{\"id\": 1, \"op\": \"flow\", \"params\": {\"bench\": \"pr\", \
+       \"model\": %s}}"
+      body
+  in
+  (* Non-finite, subnormal, and out-of-physical-range values each earn
+     an S011; an unknown field is an S003. *)
+  List.iter
+    (fun body ->
+      let e = decode_err (model_req body) in
+      check (body ^ " is bad_request") true (e.P.err_code = P.Bad_request);
+      check (body ^ " -> S011") true (has_code e "S011"))
+    [
+      "{\"vdd\": 1e999}";
+      "{\"c_base_f\": 5e-324}";
+      "{\"c_base_f\": 0}";
+      "{\"vdd\": -1.2}";
+      "{\"t_lut_ns\": -0.5}";
+      (* finite and normal, but far past physics: a 1e308 V supply
+         overflows vdd^2 downstream into an inf the report printer
+         cannot emit as JSON (regression found by hlp_fuzz). *)
+      "{\"vdd\": 1e308}";
+      "{\"t_route_ns\": 1e308}";
+      "{\"c_fanout_f\": 1.0}";
+    ];
+  let e = decode_err (model_req "{\"frequency_ghz\": 3.2}") in
+  check "unknown model field -> S003" true (has_code e "S003");
+  let e = decode_err (model_req "[1.2]") in
+  check "non-object model -> S003" true (has_code e "S003")
+
+(* --- writer poisoning: a torn frame must never be spliced --- *)
+
+let test_writer_poisons_on_torn_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A non-blocking sender with a bounded socket buffer: the first
+         oversized frame writes a partial prefix, then fails with
+         EAGAIN mid-frame — exactly the write-limited-fd shape of the
+         real bug (a SIGTERM'd drain tearing a frame, then later
+         replies splicing onto its tail). *)
+      (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+       with Unix.Unix_error _ -> ());
+      Unix.set_nonblock a;
+      let w = P.writer_of_fd a in
+      let big = String.make (4 * 1024 * 1024) 'x' in
+      (match P.write_framed w big with
+      | `Poisoned -> ()
+      | `Ok -> Alcotest.fail "4 MiB cannot fit a 4 KiB socket buffer"
+      | `Error -> Alcotest.fail "a partial write must poison, not Error"
+      | `Dropped -> Alcotest.fail "writer cannot be poisoned before use");
+      check "writer reports poisoned" true (P.writer_poisoned w);
+      (* Every later frame is dropped without touching the stream. *)
+      (match P.write_framed w "{\"spliced\": true}" with
+      | `Dropped -> ()
+      | _ -> Alcotest.fail "poisoned writer must drop later frames");
+      (* The peer sees only a strict prefix of the torn frame, then
+         EOF — never bytes of a later frame. *)
+      let buf = Bytes.create 65536 in
+      let total = ref 0 in
+      let clean = ref true in
+      let rec drain_all () =
+        let n = Unix.read b buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          for i = 0 to n - 1 do
+            if Bytes.get buf i <> 'x' then clean := false
+          done;
+          total := !total + n;
+          drain_all ()
+        end
+      in
+      drain_all ();
+      check "peer got a strict prefix" true
+        (!total > 0 && !total < String.length big + 1);
+      check "no later frame spliced onto the tear" true !clean)
+
+let test_writer_clean_failure_is_error () =
+  (* A failure with zero bytes written leaves the stream well-framed:
+     the writer reports [`Error] and is NOT poisoned. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close b;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close a with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* Writing to a peer-closed socket raises EPIPE on the first
+         byte (SIGPIPE is ignored under the test harness's server
+         runs; ignore it here explicitly for isolation). *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let w = P.writer_of_fd a in
+      match P.write_framed w "{\"a\": 1}" with
+      | `Error -> check "not poisoned" false (P.writer_poisoned w)
+      | `Ok -> Alcotest.fail "write to a closed peer cannot succeed"
+      | `Poisoned -> Alcotest.fail "zero-byte failure must not poison"
+      | `Dropped -> Alcotest.fail "fresh writer cannot drop")
+
 let suite =
   [
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
@@ -648,4 +830,17 @@ let suite =
       test_oversized_frame_at_eof;
     Alcotest.test_case "oversized frame bounded memory" `Quick
       test_oversized_frame_bounded_memory;
+    Alcotest.test_case "non-finite numerics -> S009" `Quick
+      test_nonfinite_alpha;
+    Alcotest.test_case "duplicate keys -> S010" `Quick test_duplicate_keys;
+    Alcotest.test_case "nesting depth -> S012" `Quick
+      test_nesting_depth_capped;
+    Alcotest.test_case "model override round trip" `Quick
+      test_model_override_roundtrip;
+    Alcotest.test_case "hostile model -> S011" `Quick
+      test_hostile_model_rejected;
+    Alcotest.test_case "torn frame poisons writer" `Quick
+      test_writer_poisons_on_torn_frame;
+    Alcotest.test_case "clean write failure not poisoned" `Quick
+      test_writer_clean_failure_is_error;
   ]

@@ -476,6 +476,104 @@ let test_draining_refuses_new_requests () =
           check "accepted request still completes" true
             (is_ok (Client.recv c))))
 
+(* --- deadlines live on the injectable monotonic timeline, not the
+   wall clock --- *)
+
+module Clock = Hlp_util.Clock
+
+let with_fake_clock f =
+  let fake = Atomic.make 1_000_000.0 in
+  Clock.set_source (fun () -> Atomic.get fake);
+  Fun.protect ~finally:Clock.use_monotonic (fun () -> f fake)
+
+let test_wall_step_does_not_expire_deadlines () =
+  (* With the injectable timeline frozen, 300 ms of real time pass
+     while a 50 ms deadline is in flight.  On the old
+     Unix.gettimeofday arithmetic the request would expire; on the
+     monotonic timeline the deadline only moves when the timeline
+     does, so the request completes.  This is exactly the "NTP stepped
+     the wall clock backwards/forwards mid-request" scenario. *)
+  with_fake_clock (fun _fake ->
+      with_server ~workers:1 (fun socket _server ->
+          let c = Client.connect socket in
+          let r =
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                Client.request c
+                  { P.id = Json.Int 1; deadline_ms = Some 50; op = P.Ping 300 })
+          in
+          check "frozen timeline: deadline does not expire" true (is_ok r)))
+
+let test_timeline_step_expires_promptly () =
+  (* The converse: stepping the injectable timeline an hour forward
+     mid-flight must expire the request at the next checkpoint — and
+     in real elapsed time, promptly (the worker does not serve out the
+     remaining sleep). *)
+  with_fake_clock (fun fake ->
+      with_server ~workers:1 (fun socket _server ->
+          let t0 = Unix.gettimeofday () in
+          let c = Client.connect socket in
+          let r =
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                Client.send c
+                  {
+                    P.id = Json.Int 1;
+                    deadline_ms = Some 1000;
+                    op = P.Ping 5000;
+                  };
+                Thread.delay 0.1;
+                Atomic.set fake (Atomic.get fake +. 3600.);
+                Client.recv c)
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check "timeline step expires the request" true
+            (error_code r = Some P.Deadline_exceeded);
+          check
+            (Printf.sprintf "expired promptly (%.2f s real)" elapsed)
+            true (elapsed < 2.0)))
+
+(* --- the overloaded reply reports the actual queue state --- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_overloaded_reports_real_depth () =
+  with_server ~workers:1 ~queue_capacity:2 (fun socket _server ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let ping i ms =
+            Client.send c
+              { P.id = Json.Int i; deadline_ms = None; op = P.Ping ms }
+          in
+          ping 1 800;
+          Thread.delay 0.25 (* #1 running, queue empty *);
+          ping 2 800;
+          ping 3 800;
+          Thread.delay 0.1 (* queue now holds #2 and #3 *);
+          ping 4 0 (* refused *);
+          match Client.recv c with
+          | Ok { P.payload = P.Error { code; message; _ }; _ } ->
+              check "refused as overloaded" true (code = P.Overloaded);
+              (* The old reply printed the configured capacity as "N
+                 waiting" regardless of load; the message must now
+                 carry the real depth. *)
+              check
+                (Printf.sprintf "message reports real depth: %s" message)
+                true
+                (contains message "2 queued, 1 running, capacity 2")
+          | Ok { P.payload = P.Result _; _ } ->
+              Alcotest.fail "fourth request was admitted past a full queue"
+          | Error e -> Alcotest.failf "transport error: %s" e))
+
 let suite =
   [
     Alcotest.test_case "4 concurrent clients == sequential" `Slow
@@ -498,4 +596,10 @@ let suite =
       test_drain_completes_accepted;
     Alcotest.test_case "draining refuses new work" `Quick
       test_draining_refuses_new_requests;
+    Alcotest.test_case "wall step does not expire deadlines" `Quick
+      test_wall_step_does_not_expire_deadlines;
+    Alcotest.test_case "timeline step expires promptly" `Quick
+      test_timeline_step_expires_promptly;
+    Alcotest.test_case "overloaded reports real depth" `Quick
+      test_overloaded_reports_real_depth;
   ]
