@@ -29,7 +29,14 @@
                   Tuned by HLP_LOADGEN_CLIENTS (default 4),
                   HLP_LOADGEN_REQUESTS per client (default 25),
                   HLP_LOADGEN_OP (ping|bind|flow|stats, default bind) and
-                  HLP_LOADGEN_BENCH (default pr) *)
+                  HLP_LOADGEN_BENCH (default pr)
+     HLP_LOADGEN_EDITS=n  with HLP_LOADGEN: each client instead runs an
+                  incremental-session edit stream (5 full binds for a
+                  baseline, then session_open -> n one-op edits ->
+                  session_close) and the run reports full-bind vs
+                  incremental p50/p99; any protocol error exits 1
+     HLP_SESSION_BENCH_EDITS  one-op edits per benchmark in the
+                  in-process incremental-session section (default 40) *)
 
 module Cdfg = Hlp_cdfg.Cdfg
 module Schedule = Hlp_cdfg.Schedule
@@ -810,6 +817,149 @@ let bechamel_section () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Incremental sessions (router round trips, in process): per benchmark,
+   time a from-scratch HLPower bind of the session's ASAP schedule —
+   fresh binder state every rep, exactly the work [session_open] does —
+   against one-op [session_edit] round trips.  The edit stream
+   alternates adding and removing the same op, so after the first
+   add/remove pair every reply comes out of the session's memo layers;
+   the headline ratio is full-bind p50 over incremental edit p50. *)
+
+type session_row = {
+  ss_bench : string;
+  ss_edits : int;
+  ss_full_p50 : float;
+  ss_edit_p50 : float;
+  ss_edit_p99 : float;
+  ss_reply_hits : int;
+  ss_weight_hits : int;
+  ss_class_hits : int;
+}
+
+let pctile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let session_bench_edits =
+  match Sys.getenv_opt "HLP_SESSION_BENCH_EDITS" with
+  | Some s -> max 4 (int_of_string s)
+  | None -> 40
+
+let session_rows =
+  lazy
+    (let module P = Hlp_server.Protocol in
+     let module R = Hlp_server.Router in
+     let module J = Hlp_server.Json in
+     let router = R.create () in
+     let ck _ = () in
+     List.map
+       (fun (profile : B.profile) ->
+         let bench = profile.B.bench_name in
+         let cdfg = B.generate profile in
+         let schedule = Schedule.asap cdfg in
+         let regs = RB.bind (Lifetime.analyze schedule) in
+         let resources cls = max 1 (Schedule.max_density schedule cls) in
+         let params = H.calibrate ~alpha:0.5 sa_table in
+         let reps = 9 in
+         let full =
+           Array.init reps (fun _ ->
+               let state = H.create_state () in
+               let t0 = now () in
+               ignore
+                 (H.bind ~state ~params ~sa_table ~regs ~resources schedule);
+               now () -. t0)
+         in
+         Array.sort compare full;
+         let sid =
+           match
+             R.handle router ~checkpoint:ck
+               (P.Session_open
+                  {
+                    P.default_session_open_params with
+                    P.so_bench = bench;
+                    so_width = width;
+                  })
+           with
+           | Ok j -> (
+               match J.member "session" j with
+               | Some (J.String s) -> s
+               | _ -> failwith "session bench: open reply has no id")
+           | Error _ -> failwith ("session bench: open failed for " ^ bench)
+         in
+         let lat = Array.make session_bench_edits 0. in
+         let added_id = Cdfg.num_ops cdfg in
+         let (), scoped =
+           Telemetry.with_scope (fun () ->
+               for i = 0 to session_bench_edits - 1 do
+                 let delta =
+                   if i land 1 = 0 then
+                     P.D_add_op
+                       {
+                         d_kind = Cdfg.Add;
+                         d_left = Cdfg.Input 0;
+                         d_right = Cdfg.Input 0;
+                         d_output = true;
+                       }
+                   else P.D_remove_op added_id
+                 in
+                 let t0 = now () in
+                 (match
+                    R.handle router ~checkpoint:ck
+                      (P.Session_edit { P.se_session = sid; se_delta = delta })
+                  with
+                 | Ok _ -> ()
+                 | Error _ ->
+                     failwith ("session bench: edit failed for " ^ bench));
+                 lat.(i) <- now () -. t0
+               done)
+         in
+         let scoped_count name =
+           Option.value ~default:0 (List.assoc_opt name scoped)
+         in
+         let reply_hits =
+           match
+             R.handle router ~checkpoint:ck
+               (P.Session_close { P.sc_session = sid })
+           with
+           | Ok j -> (
+               match J.member "reply_cache_hits" j with
+               | Some (J.Int n) -> n
+               | _ -> 0)
+           | Error _ -> 0
+         in
+         Array.sort compare lat;
+         {
+           ss_bench = bench;
+           ss_edits = session_bench_edits;
+           ss_full_p50 = pctile full 0.5;
+           ss_edit_p50 = pctile lat 0.5;
+           ss_edit_p99 = pctile lat 0.99;
+           ss_reply_hits = reply_hits;
+           ss_weight_hits = scoped_count "hlpower.memo_weight_hits";
+           ss_class_hits = scoped_count "hlpower.memo_class_hits";
+         })
+       flow_profiles)
+
+let session_bench () =
+  section "Incremental sessions: one-op edit vs full re-bind";
+  Printf.printf "%-8s %13s %13s %13s %8s %10s %10s\n" "bench" "full-p50(us)"
+    "edit-p50(us)" "edit-p99(us)" "speedup" "reply-hit" "memo-hit";
+  List.iter
+    (fun r ->
+      let speedup =
+        if stable || r.ss_edit_p50 <= 0. then 0.
+        else r.ss_full_p50 /. r.ss_edit_p50
+      in
+      Printf.printf "%-8s %13.1f %13.1f %13.1f %8.1f %10d %10d\n" r.ss_bench
+        (1e6 *. shown_seconds r.ss_full_p50)
+        (1e6 *. shown_seconds r.ss_edit_p50)
+        (1e6 *. shown_seconds r.ss_edit_p99)
+        speedup r.ss_reply_hits
+        (r.ss_weight_hits + r.ss_class_hits))
+    (Lazy.force session_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable benchmark report (HLP_BENCH_JSON=path).  Metric
    floats are printed with %.17g so a warm-cache run is textually equal
    to a cold one iff its Sec. 6 metrics are bit-identical; wall-clock
@@ -941,6 +1091,25 @@ let bench_json ~total_seconds path =
       sep := ",")
     (Lazy.force static_estimator_rows);
   add "\n  ]},\n";
+  (* Incremental sessions: hit counts are deterministic (pure functions
+     of the edit stream); latency percentiles go to 0 under HLP_STABLE
+     like every other timing. *)
+  add "  \"sessions\": [";
+  sep := "";
+  List.iter
+    (fun r ->
+      add
+        (Printf.sprintf
+           "%s\n    {\"bench\": \"%s\", \"edits\": %d, \"full_bind_p50_s\": \
+            %s, \"edit_p50_s\": %s, \"edit_p99_s\": %s, \
+            \"reply_cache_hits\": %d, \"memo_weight_hits\": %d, \
+            \"memo_class_hits\": %d}"
+           !sep r.ss_bench r.ss_edits (jt r.ss_full_p50) (jt r.ss_edit_p50)
+           (jt r.ss_edit_p99) r.ss_reply_hits r.ss_weight_hits
+           r.ss_class_hits);
+      sep := ",")
+    (Lazy.force session_rows);
+  add "\n  ],\n";
   (* Phase wall clock (elaborate / map / sim / power / bind, plus the
      per-design flow spans).  Call counts stay real in stable mode;
      only the seconds are zeroed. *)
@@ -954,6 +1123,19 @@ let bench_json ~total_seconds path =
            (Telemetry.json_escape name) calls (jt seconds));
       sep := ",")
     (Telemetry.timers ());
+  (* Synthetic phase row: the median one-op session_edit latency across
+     benchmarks, so the phase table carries the headline incremental
+     number next to the full-flow stages. *)
+  (let srows = Lazy.force session_rows in
+   let sorted =
+     Array.of_list (List.sort compare (List.map (fun r -> r.ss_edit_p50) srows))
+   in
+   let calls = List.fold_left (fun a r -> a + r.ss_edits) 0 srows in
+   add
+     (Printf.sprintf
+        "%s\n    {\"name\": \"edit_p50_us\", \"calls\": %d, \"seconds\": %s}"
+        !sep calls
+        (jt (pctile sorted 0.5))));
   add "\n  ],\n";
   add (Printf.sprintf "  \"total_seconds\": %s\n}\n" (jt total_seconds));
   let oc = open_out path in
@@ -981,6 +1163,114 @@ let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+(* Edit-stream mode (HLP_LOADGEN_EDITS=n): each client measures full
+   [bind] round trips for a baseline, then opens a session and streams n
+   one-op edits through it before closing.  Reports full-bind vs
+   incremental p50/p99 and the daemon-side reply-cache hit count; any
+   protocol error fails the run. *)
+let edits_loadgen socket ~clients ~edits ~bench =
+  let module P = Hlp_server.Protocol in
+  let module C = Hlp_server.Client in
+  let module J = Hlp_server.Json in
+  let full_reps = 5 in
+  Printf.printf
+    "loadgen-edits: %d clients x (%d binds + open + %d edits + close) on %s \
+     against %s\n\
+     %!"
+    clients full_reps edits bench socket;
+  let errors = Atomic.make 0 in
+  let reply_hits = Atomic.make 0 in
+  let full_lat = Array.make (clients * full_reps) 0. in
+  let edit_lat = Array.make (clients * edits) 0. in
+  (* The daemon's generator is pure, so the id the first add_op receives
+     is knowable client-side: ops are appended at [num_ops]. *)
+  let added_id = Hlp_cdfg.Cdfg.num_ops (B.generate (B.find bench)) in
+  let client_body c_idx =
+    let c = C.connect socket in
+    Fun.protect
+      ~finally:(fun () -> C.close c)
+      (fun () ->
+        let rid = ref 0 in
+        let request op =
+          incr rid;
+          C.request c
+            { P.id = J.Int ((c_idx * 1_000_000) + !rid); deadline_ms = None; op }
+        in
+        for r = 0 to full_reps - 1 do
+          let t0 = now () in
+          match request (P.Bind { P.default_bind_params with P.bench; width })
+          with
+          | Ok { P.payload = P.Result _; _ } ->
+              full_lat.((c_idx * full_reps) + r) <- now () -. t0
+          | Ok { P.payload = P.Error _; _ } | Error _ -> Atomic.incr errors
+        done;
+        match
+          request
+            (P.Session_open
+               {
+                 P.default_session_open_params with
+                 P.so_bench = bench;
+                 so_width = width;
+               })
+        with
+        | Ok { P.payload = P.Result { result = j; _ }; _ } -> (
+            let sid =
+              match J.member "session" j with
+              | Some (J.String s) -> s
+              | _ -> ""
+            in
+            if sid = "" then Atomic.incr errors
+            else begin
+              for i = 0 to edits - 1 do
+                let delta =
+                  if i land 1 = 0 then
+                    P.D_add_op
+                      {
+                        d_kind = Hlp_cdfg.Cdfg.Add;
+                        d_left = Hlp_cdfg.Cdfg.Input 0;
+                        d_right = Hlp_cdfg.Cdfg.Input 0;
+                        d_output = true;
+                      }
+                  else P.D_remove_op added_id
+                in
+                let t0 = now () in
+                match
+                  request
+                    (P.Session_edit { P.se_session = sid; se_delta = delta })
+                with
+                | Ok { P.payload = P.Result _; _ } ->
+                    edit_lat.((c_idx * edits) + i) <- now () -. t0
+                | Ok { P.payload = P.Error _; _ } | Error _ ->
+                    Atomic.incr errors
+              done;
+              match request (P.Session_close { P.sc_session = sid }) with
+              | Ok { P.payload = P.Result { result = j; _ }; _ } ->
+                  (match J.member "reply_cache_hits" j with
+                  | Some (J.Int n) -> ignore (Atomic.fetch_and_add reply_hits n)
+                  | _ -> ())
+              | Ok { P.payload = P.Error _; _ } | Error _ ->
+                  Atomic.incr errors
+            end)
+        | Ok { P.payload = P.Error _; _ } | Error _ -> Atomic.incr errors)
+  in
+  let threads = List.init clients (fun i -> Thread.create client_body i) in
+  List.iter Thread.join threads;
+  Array.sort compare full_lat;
+  Array.sort compare edit_lat;
+  let full_p50 = percentile full_lat 0.50 in
+  let edit_p50 = percentile edit_lat 0.50 in
+  Printf.printf
+    "loadgen-edits: full bind p50 %.2f ms, p99 %.2f ms | incremental edit \
+     p50 %.1f us, p99 %.1f us\n"
+    (1000. *. full_p50)
+    (1000. *. percentile full_lat 0.99)
+    (1e6 *. edit_p50)
+    (1e6 *. percentile edit_lat 0.99);
+  Printf.printf "loadgen-edits: speedup %.1fx, reply cache hits %d, errors %d\n"
+    (if edit_p50 > 0. then full_p50 /. edit_p50 else 0.)
+    (Atomic.get reply_hits) (Atomic.get errors);
+  if Atomic.get errors > 0 then exit 1
 
 let loadgen socket =
   let module P = Hlp_server.Protocol in
@@ -1278,7 +1568,21 @@ let () =
   | Some socket when String.trim socket <> "" ->
       (match Sys.getenv_opt "HLP_LOADGEN_CHAOS" with
       | Some ("1" | "true" | "yes") -> chaos_loadgen socket
-      | _ -> loadgen socket);
+      | _ -> (
+          match Sys.getenv_opt "HLP_LOADGEN_EDITS" with
+          | Some s when String.trim s <> "" ->
+              let env name default =
+                match Sys.getenv_opt name with
+                | Some v -> int_of_string v
+                | None -> default
+              in
+              edits_loadgen socket
+                ~clients:(max 1 (env "HLP_LOADGEN_CLIENTS" 4))
+                ~edits:(max 1 (int_of_string s))
+                ~bench:
+                  (Option.value ~default:"pr"
+                     (Sys.getenv_opt "HLP_LOADGEN_BENCH"))
+          | _ -> loadgen socket));
       exit 0
   | _ -> ()
 
@@ -1302,6 +1606,7 @@ let () =
   ablation_module_select ();
   sim_engines ();
   static_estimator ();
+  session_bench ();
   (* Bechamel numbers are wall-clock by nature; skip them entirely in
      byte-stable mode. *)
   if not stable then bechamel_section ();

@@ -553,8 +553,14 @@ let serve_cmd =
 (* --- client command --- *)
 
 let op_arg =
-  let doc = "Operation: ping, bind, flow, explore, lint or stats." in
+  let doc = "Operation: ping, bind, flow, explore, lint, stats or \
+             session (an incremental-session demo: open, stream \
+             $(b,--edits) one-op edits, close, report latencies)." in
   Arg.(value & pos 0 string "stats" & info [] ~docv:"OP" ~doc)
+
+let edits_arg =
+  let doc = "One-op edits the session demo streams before closing." in
+  Arg.(value & opt int 20 & info [ "edits" ] ~docv:"N" ~doc)
 
 let client_bench_arg =
   let doc = "Benchmark name (required for bind/flow/explore)." in
@@ -573,8 +579,107 @@ let raw_arg =
              building one from the other options." in
   Arg.(value & opt (some string) None & info [ "raw" ] ~docv:"JSON" ~doc)
 
+(* Incremental-session demo: open a session on the benchmark, stream
+   one-op edits (alternating add and remove of the same op, so the
+   daemon's memo layers get exercised), close, and report wall-clock
+   per phase.  Exit 0 only if every reply was a result. *)
+let run_session_demo c ~bench ~binder ~alpha ~width ~edits ~deadline_ms =
+  let now () = Unix.gettimeofday () in
+  let rid = ref 0 in
+  let request op =
+    incr rid;
+    match Client.request c { Protocol.id = Sjson.Int !rid; deadline_ms; op } with
+    | Ok { Protocol.payload = Protocol.Result { result; _ }; _ } -> Ok result
+    | Ok { Protocol.payload = Protocol.Error { message; _ }; _ } ->
+        Error message
+    | Error msg -> Error msg
+  in
+  let t0 = now () in
+  match
+    request
+      (Protocol.Session_open
+         { Protocol.default_session_open_params with
+           Protocol.so_bench = bench;
+           so_binder = binder;
+           so_alpha = alpha;
+           so_width = width })
+  with
+  | Error msg ->
+      Format.eprintf "session_open: %s@." msg;
+      1
+  | Ok j -> (
+      let open_ms = 1000. *. (now () -. t0) in
+      match Sjson.member "session" j with
+      | Some (Sjson.String sid) -> (
+          Printf.printf "session %s opened in %.2f ms\n" sid open_ms;
+          let added_id =
+            Cdfg.num_ops (Benchmarks.generate (Benchmarks.find bench))
+          in
+          let lat = Array.make (max 1 edits) 0. in
+          let failed = ref None in
+          (try
+             for i = 0 to edits - 1 do
+               let delta =
+                 if i land 1 = 0 then
+                   Protocol.D_add_op
+                     { d_kind = Cdfg.Add;
+                       d_left = Cdfg.Input 0;
+                       d_right = Cdfg.Input 0;
+                       d_output = true }
+                 else Protocol.D_remove_op added_id
+               in
+               let t0 = now () in
+               match
+                 request
+                   (Protocol.Session_edit
+                      { Protocol.se_session = sid; se_delta = delta })
+               with
+               | Ok _ -> lat.(i) <- now () -. t0
+               | Error msg ->
+                   failed := Some msg;
+                   raise Exit
+             done
+           with Exit -> ());
+          match !failed with
+          | Some msg ->
+              Format.eprintf "session_edit: %s@." msg;
+              1
+          | None -> (
+              Array.sort compare lat;
+              let pct q =
+                let n = Array.length lat in
+                lat.(min (n - 1)
+                       (int_of_float (ceil (q *. float_of_int n)) - 1))
+              in
+              if edits > 0 then
+                Printf.printf
+                  "%d one-op edits: p50 %.1f us, p99 %.1f us, max %.1f us\n"
+                  edits
+                  (1e6 *. pct 0.50)
+                  (1e6 *. pct 0.99)
+                  (1e6 *. lat.(Array.length lat - 1));
+              match
+                request (Protocol.Session_close { Protocol.sc_session = sid })
+              with
+              | Ok j ->
+                  let int_of name =
+                    match Sjson.member name j with
+                    | Some (Sjson.Int n) -> n
+                    | _ -> 0
+                  in
+                  Printf.printf
+                    "closed: %d edits served, %d reply cache hits\n"
+                    (int_of "edits") (int_of "reply_cache_hits");
+                  0
+              | Error msg ->
+                  Format.eprintf "session_close: %s@." msg;
+                  1))
+      | _ ->
+          Format.eprintf "session_open: reply has no session id@.";
+          1)
+
 let run_client socket tcp op bench binder alpha width vectors port_assign
-    estimator alphas deadline_ms ping_ms raw verbose =
+    estimator alphas deadline_ms ping_ms raw edits verbose =
   setup_logs verbose;
   let need_bench () =
     match bench with
@@ -590,6 +695,10 @@ let run_client socket tcp op bench binder alpha width vectors port_assign
     Fun.protect
       ~finally:(fun () -> Client.close c)
       (fun () ->
+        if op = "session" && raw = None then
+          run_session_demo c ~bench:(need_bench ()) ~binder ~alpha ~width
+            ~edits ~deadline_ms
+        else
         let reply =
           match raw with
           | Some line ->
@@ -660,7 +769,7 @@ let client_cmd =
       const run_client $ socket_arg $ tcp_arg $ op_arg $ client_bench_arg
       $ binder_arg $ alpha_arg $ width_arg $ vectors_arg $ port_assign_arg
       $ estimator_arg $ alphas_arg $ client_deadline_arg $ ping_ms_arg
-      $ raw_arg $ verbose_arg)
+      $ raw_arg $ edits_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "FPGA-targeted glitch-aware high-level binding (HLPower)" in

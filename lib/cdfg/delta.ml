@@ -1,0 +1,107 @@
+type t =
+  | Add_op of {
+      kind : Cdfg.op_kind;
+      left : Cdfg.operand;
+      right : Cdfg.operand;
+      output : bool;
+    }
+  | Remove_op of int
+
+let operand_to_string = function
+  | Cdfg.Input k -> Printf.sprintf "in%d" k
+  | Cdfg.Op j -> Printf.sprintf "op%d" j
+
+let to_string = function
+  | Add_op { kind; left; right; output } ->
+      Printf.sprintf "add_op %s %s %s%s"
+        (Cdfg.kind_to_string kind)
+        (operand_to_string left) (operand_to_string right)
+        (if output then " (output)" else "")
+  | Remove_op id -> Printf.sprintf "remove_op %d" id
+
+let check_operand cdfg ~what = function
+  | Cdfg.Input k ->
+      if k < 0 || k >= Cdfg.num_inputs cdfg then
+        Error
+          (Printf.sprintf "%s reads unknown input %d (graph has %d)" what k
+             (Cdfg.num_inputs cdfg))
+      else Ok ()
+  | Cdfg.Op j ->
+      if j < 0 || j >= Cdfg.num_ops cdfg then
+        Error
+          (Printf.sprintf "%s reads unknown op %d (graph has %d)" what j
+             (Cdfg.num_ops cdfg))
+      else Ok ()
+
+let ( let* ) = Result.bind
+
+let apply_add cdfg ~kind ~left ~right ~output =
+  let* () = check_operand cdfg ~what:"new op's left operand" left in
+  let* () = check_operand cdfg ~what:"new op's right operand" right in
+  let id = Cdfg.num_ops cdfg in
+  let op = { Cdfg.id; kind; left; right } in
+  let ops = Array.to_list (Cdfg.ops cdfg) @ [ op ] in
+  let outputs =
+    if output then Cdfg.outputs cdfg @ [ Cdfg.Op id ] else Cdfg.outputs cdfg
+  in
+  match
+    Cdfg.create ~name:(Cdfg.name cdfg) ~num_inputs:(Cdfg.num_inputs cdfg)
+      ~ops ~outputs
+  with
+  | cdfg' -> Ok cdfg'
+  | exception Invalid_argument msg -> Error msg
+
+let apply_remove cdfg id =
+  if id < 0 || id >= Cdfg.num_ops cdfg then
+    Error
+      (Printf.sprintf "cannot remove op %d: graph has %d ops" id
+         (Cdfg.num_ops cdfg))
+  else if Cdfg.num_ops cdfg = 1 then
+    Error "cannot remove the graph's only op"
+  else begin
+    let consumers = (Cdfg.consumers cdfg).(id) in
+    match consumers with
+    | c :: _ ->
+        Error
+          (Printf.sprintf "cannot remove op %d: it feeds op %d" id c)
+    | [] ->
+        let outputs =
+          List.filter (fun o -> o <> Cdfg.Op id) (Cdfg.outputs cdfg)
+        in
+        if outputs = [] then
+          Error
+            (Printf.sprintf
+               "cannot remove op %d: the graph would have no outputs" id)
+        else begin
+          (* Renumber: ops above [id] shift down by one, and so does every
+             reference to them (the removed op has no consumers, so no
+             reference to [id] itself survives). *)
+          let remap = function
+            | Cdfg.Op j when j > id -> Cdfg.Op (j - 1)
+            | x -> x
+          in
+          let ops =
+            Array.to_list (Cdfg.ops cdfg)
+            |> List.filter (fun o -> o.Cdfg.id <> id)
+            |> List.map (fun o ->
+                   {
+                     Cdfg.id = (if o.Cdfg.id > id then o.Cdfg.id - 1 else o.Cdfg.id);
+                     kind = o.Cdfg.kind;
+                     left = remap o.Cdfg.left;
+                     right = remap o.Cdfg.right;
+                   })
+          in
+          let outputs = List.map remap outputs in
+          match
+            Cdfg.create ~name:(Cdfg.name cdfg)
+              ~num_inputs:(Cdfg.num_inputs cdfg) ~ops ~outputs
+          with
+          | cdfg' -> Ok cdfg'
+          | exception Invalid_argument msg -> Error msg
+        end
+  end
+
+let apply cdfg = function
+  | Add_op { kind; left; right; output } ->
+      apply_add cdfg ~kind ~left ~right ~output
+  | Remove_op id -> apply_remove cdfg id

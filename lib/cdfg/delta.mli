@@ -1,0 +1,34 @@
+(** Structural CDFG deltas — the edit vocabulary of the daemon's
+    incremental re-binding sessions.
+
+    A delta is a small, validated graph edit.  {!apply} either produces
+    the edited graph or a human-readable reason the edit is invalid
+    against the current graph (the router surfaces it as the [S014]
+    diagnostic); the input graph is never mutated.
+
+    Edits preserve the {!Cdfg} invariants by construction:
+
+    - [Add_op] appends one op at the next id (references to existing ops
+      and inputs stay topological because the new op has the highest id)
+      and optionally lists it as an extra output.
+    - [Remove_op] removes an op that no other op reads, then renumbers:
+      every op above the removed id shifts down by one, as does every
+      operand and output reference to it.  Removing an op that some op
+      consumes, the only op, or the only output is an error. *)
+
+type t =
+  | Add_op of {
+      kind : Cdfg.op_kind;
+      left : Cdfg.operand;
+      right : Cdfg.operand;
+      output : bool;  (** also expose the new op as a graph output *)
+    }
+  | Remove_op of int  (** op id to remove (must have no consumers) *)
+
+(** One-line rendering for logs and error messages. *)
+val to_string : t -> string
+
+(** [apply cdfg delta] is the edited graph, or [Error reason] when the
+    delta does not validate against [cdfg].  The result always satisfies
+    [Cdfg.validate]. *)
+val apply : Cdfg.t -> t -> (Cdfg.t, string) result

@@ -127,6 +127,54 @@ let of_csteps ?(latency = unit_latency) cdfg ~cstep =
   let t = { cdfg; cstep; num_csteps = length_of cdfg latency cstep; latency } in
   t
 
+let patch_append t cdfg' =
+  let n = Cdfg.num_ops t.cdfg in
+  if Cdfg.num_ops cdfg' <> n + 1 then
+    invalid_arg "Schedule.patch_append: not a one-op extension";
+  for i = 0 to n - 1 do
+    if Cdfg.op cdfg' i <> Cdfg.op t.cdfg i then
+      invalid_arg "Schedule.patch_append: existing ops changed"
+  done;
+  let cstep = Array.make (n + 1) 0 in
+  Array.blit t.cstep 0 cstep 0 n;
+  cstep.(n) <- earliest cdfg' t.latency cstep (Cdfg.op cdfg' n);
+  {
+    cdfg = cdfg';
+    cstep;
+    num_csteps = length_of cdfg' t.latency cstep;
+    latency = t.latency;
+  }
+
+let patch_remove t cdfg' ~removed =
+  let n = Cdfg.num_ops t.cdfg in
+  if Cdfg.num_ops cdfg' <> n - 1 then
+    invalid_arg "Schedule.patch_remove: not a one-op removal";
+  if removed < 0 || removed >= n then
+    invalid_arg "Schedule.patch_remove: removed id out of range";
+  let remap = function
+    | Cdfg.Op j when j > removed -> Cdfg.Op (j - 1)
+    | x -> x
+  in
+  for i = 0 to n - 2 do
+    let old = Cdfg.op t.cdfg (if i < removed then i else i + 1) in
+    let nw = Cdfg.op cdfg' i in
+    if
+      nw.Cdfg.kind <> old.Cdfg.kind
+      || nw.Cdfg.left <> remap old.Cdfg.left
+      || nw.Cdfg.right <> remap old.Cdfg.right
+    then invalid_arg "Schedule.patch_remove: surviving ops changed"
+  done;
+  let cstep =
+    Array.init (n - 1) (fun i ->
+        if i < removed then t.cstep.(i) else t.cstep.(i + 1))
+  in
+  {
+    cdfg = cdfg';
+    cstep;
+    num_csteps = length_of cdfg' t.latency cstep;
+    latency = t.latency;
+  }
+
 let density t cls =
   let d = Array.make (max t.num_csteps 1) 0 in
   Array.iter

@@ -41,6 +41,26 @@ val list_schedule :
     for hand-built examples such as the paper's Fig. 1) and validates it. *)
 val of_csteps : ?latency:latency -> Cdfg.t -> cstep:int array -> t
 
+(** [patch_append t cdfg'] extends [t] to [cdfg'], which must be [t]'s
+    graph with exactly one op appended ([Delta.Add_op]): existing start
+    steps are kept and the new op starts as early as its operands allow.
+    ASAP assigns each op the earliest start given only {e earlier} ops,
+    so when [t] is an ASAP schedule the patch equals [asap cdfg']
+    recomputed from scratch — in O(1) ops instead of O(n).
+    @raise Invalid_argument if [cdfg'] is not a one-op extension of
+    [t]'s graph. *)
+val patch_append : t -> Cdfg.t -> t
+
+(** [patch_remove t cdfg' ~removed] shrinks [t] to [cdfg'], which must
+    be [t]'s graph with consumer-free op [removed] deleted and higher
+    ids renumbered down by one ([Delta.Remove_op]): surviving ops keep
+    their start steps.  A consumer-free op contributes to no other op's
+    earliest start, so when [t] is an ASAP schedule the patch equals
+    [asap cdfg'] recomputed from scratch.
+    @raise Invalid_argument if [cdfg'] is not [t]'s graph minus
+    [removed]. *)
+val patch_remove : t -> Cdfg.t -> removed:int -> t
+
 (** [validate t ~resources] checks dependency and (optional) resource
     feasibility; @raise Failure on violation. *)
 val validate : t -> resources:(Cdfg.fu_class -> int) option -> unit

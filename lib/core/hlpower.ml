@@ -7,6 +7,10 @@ let c_iterations = Telemetry.counter "hlpower.iterations"
 let c_promotions = Telemetry.counter "hlpower.promotions"
 let c_binds = Telemetry.counter "hlpower.binds"
 let c_first_fit = Telemetry.counter "hlpower.first_fit_fallbacks"
+let c_weight_hits = Telemetry.counter "hlpower.memo_weight_hits"
+let c_weight_misses = Telemetry.counter "hlpower.memo_weight_misses"
+let c_class_hits = Telemetry.counter "hlpower.memo_class_hits"
+let c_class_misses = Telemetry.counter "hlpower.memo_class_misses"
 
 type params = {
   alpha : float;
@@ -19,13 +23,34 @@ let paper_beta = function
 
 let default_params = { alpha = 0.5; beta = paper_beta }
 
+exception Calibration_error of string
+
 (* The paper chose beta empirically (~30 add / ~1000 mult) so that the
    muxDiff term is commensurate with 1/SA *at their datapath width*.  The
    published constants transfer to any width by observing that they match
    the typical SA of a small partial datapath: calibrating beta to the
    (2,2)-mux cell's SA reproduces the published balance on our cells. *)
 let calibrate ?(alpha = 0.5) sa_table =
-  let beta cls = Sa_table.lookup sa_table cls ~left:2 ~right:2 in
+  let beta cls =
+    match Sa_table.lookup sa_table cls ~left:2 ~right:2 with
+    | sa -> sa
+    | exception (Failure msg | Invalid_argument msg) ->
+        raise
+          (Calibration_error
+             (Printf.sprintf
+                "cannot calibrate beta for class %s: the (2,2) partial \
+                 datapath of the width-%d K=%d library is unusable (%s)"
+                (Cdfg.class_to_string cls)
+                (Sa_table.width sa_table) (Sa_table.k sa_table) msg))
+    | exception Not_found ->
+        raise
+          (Calibration_error
+             (Printf.sprintf
+                "cannot calibrate beta for class %s: the width-%d K=%d SA \
+                 table has no (2,2) entry"
+                (Cdfg.class_to_string cls)
+                (Sa_table.width sa_table) (Sa_table.k sa_table)))
+  in
   let beta_add = beta Cdfg.Add_sub and beta_mult = beta Cdfg.Multiplier in
   {
     alpha;
@@ -86,12 +111,338 @@ let edge_weight ~params ~sa_table ~cls ~left ~right =
   +. (1. -. params.alpha)
      /. (float_of_int (mux_diff + 1) *. params.beta cls)
 
-let merged_weight ~params ~sa_table u v =
-  let left = IS.cardinal (IS.union u.left_srcs v.left_srcs) in
-  let right = IS.cardinal (IS.union u.right_srcs v.right_srcs) in
-  edge_weight ~params ~sa_table ~cls:u.cls ~left ~right
+(* --- persistent binder state ------------------------------------------ *)
 
-let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
+(* An Eq. 4 evaluation is a pure function of the merged source-register
+   sets plus everything that parameterizes the weight: the class, alpha,
+   the class beta, and the SA table identity (width, K) — entries of equal
+   (width, K) tables are pure functions of the key, so two tables with the
+   same identity yield the same weight. *)
+type weight_key = {
+  wk_cls : Cdfg.fu_class;
+  wk_alpha : float;
+  wk_beta : float;
+  wk_width : int;
+  wk_k : int;
+  wk_left : int list; (* merged left-source registers, ascending *)
+  wk_right : int list; (* merged right-source registers, ascending *)
+}
+
+(* A whole per-class run is a pure function of this signature: seeding
+   reads only the class ops' active intervals (the peak step is the argmax
+   of the class's own density profile, unaffected by other classes), each
+   round reads only intervals, source registers and Eq. 4 weights, and the
+   first-fit fallback reads only start steps and op ids.  Caching on exact
+   structural equality makes reuse provably identical to re-running. *)
+type class_key = {
+  ck_cls : Cdfg.fu_class;
+  ck_alpha : float;
+  ck_beta : float;
+  ck_width : int;
+  ck_k : int;
+  ck_resources : int;
+  ck_ops : (int * int * int * int * int) list;
+      (* (op id, start, finish, left reg, right reg) in id order *)
+}
+
+type class_value = {
+  cv_groups : (Cdfg.fu_class * int list) list;
+  cv_iterations : int;
+  cv_promoted : int;
+  cv_first_fit : bool;
+}
+
+type memo_stats = {
+  weight_hits : int;
+  weight_misses : int;
+  class_hits : int;
+  class_misses : int;
+}
+
+type state = {
+  weight_memo : (weight_key, float) Hashtbl.t;
+  class_memo : (class_key, class_value) Hashtbl.t;
+  mutable st_weight_hits : int;
+  mutable st_weight_misses : int;
+  mutable st_class_hits : int;
+  mutable st_class_misses : int;
+}
+
+let create_state () =
+  {
+    weight_memo = Hashtbl.create 256;
+    class_memo = Hashtbl.create 64;
+    st_weight_hits = 0;
+    st_weight_misses = 0;
+    st_class_hits = 0;
+    st_class_misses = 0;
+  }
+
+let memo_stats st =
+  {
+    weight_hits = st.st_weight_hits;
+    weight_misses = st.st_weight_misses;
+    class_hits = st.st_class_hits;
+    class_misses = st.st_class_misses;
+  }
+
+let merged_weight ?state ~params ~sa_table u v =
+  let compute () =
+    let left = IS.cardinal (IS.union u.left_srcs v.left_srcs) in
+    let right = IS.cardinal (IS.union u.right_srcs v.right_srcs) in
+    edge_weight ~params ~sa_table ~cls:u.cls ~left ~right
+  in
+  match state with
+  | None -> compute ()
+  | Some st -> (
+      let key =
+        {
+          wk_cls = u.cls;
+          wk_alpha = params.alpha;
+          wk_beta = params.beta u.cls;
+          wk_width = Sa_table.width sa_table;
+          wk_k = Sa_table.k sa_table;
+          wk_left = IS.elements (IS.union u.left_srcs v.left_srcs);
+          wk_right = IS.elements (IS.union u.right_srcs v.right_srcs);
+        }
+      in
+      match Hashtbl.find_opt st.weight_memo key with
+      | Some w ->
+          st.st_weight_hits <- st.st_weight_hits + 1;
+          Telemetry.incr c_weight_hits;
+          w
+      | None ->
+          let w = compute () in
+          Hashtbl.replace st.weight_memo key w;
+          st.st_weight_misses <- st.st_weight_misses + 1;
+          Telemetry.incr c_weight_misses;
+          w)
+
+(* --- resumable rounds -------------------------------------------------- *)
+
+(* The in-flight binding of one class: the partially merged unit set [U],
+   the not-yet-absorbed ops [V], and the round counters.  Values are
+   persistent — each round returns a fresh state — so a caller can stop,
+   inspect, and resume between rounds. *)
+type class_state = {
+  cs_cls : Cdfg.fu_class;
+  cs_u : node array;
+  cs_v : node list;
+  cs_iterations : int;
+  cs_promoted : int;
+}
+
+let cs_units cs = Array.length cs.cs_u + List.length cs.cs_v
+let cs_pending cs = List.length cs.cs_v
+
+let ops_of_class cdfg cls =
+  Array.to_list (Cdfg.ops cdfg)
+  |> List.filter (fun o -> Cdfg.class_of o.Cdfg.kind = cls)
+
+let seed_of_ops ~schedule ~regs cls ops_of_cls =
+  if ops_of_cls = [] then None
+  else begin
+    let peak = Schedule.peak_step schedule cls in
+    let in_peak o =
+      let s, f = Schedule.active_steps schedule o.Cdfg.id in
+      s <= peak && peak <= f
+    in
+    let u_ops, v_ops = List.partition in_peak ops_of_cls in
+    Some
+      {
+        cs_cls = cls;
+        cs_u = Array.of_list (List.map (node_of_op schedule regs) u_ops);
+        cs_v = List.map (node_of_op schedule regs) v_ops;
+        cs_iterations = 0;
+        cs_promoted = 0;
+      }
+  end
+
+let seed ~schedule ~regs cls =
+  seed_of_ops ~schedule ~regs cls (ops_of_class schedule.Schedule.cdfg cls)
+
+(* One iterated-matching round: solve the bipartite graph between U and V;
+   merge every matched pair, or — when nothing can merge (multi-cycle
+   case) — promote the earliest V node into U. *)
+let matching_round ?state ~params ~sa_table cs =
+  let v_arr = Array.of_list cs.cs_v in
+  let u = Array.copy cs.cs_u in
+  let weight i j =
+    let un = u.(i) and vn = v_arr.(j) in
+    if compatible un vn then
+      Some (merged_weight ?state ~params ~sa_table un vn)
+    else None
+  in
+  let pairs =
+    Bipartite.max_weight_matching ~n_left:(Array.length u)
+      ~n_right:(Array.length v_arr) ~weight
+  in
+  if pairs = [] then
+    match cs.cs_v with
+    | first :: rest ->
+        {
+          cs with
+          cs_u = Array.append cs.cs_u [| first |];
+          cs_v = rest;
+          cs_iterations = cs.cs_iterations + 1;
+          cs_promoted = cs.cs_promoted + 1;
+        }
+    | [] -> invalid_arg "Hlpower.matching_round: no pending ops"
+  else begin
+    let matched_v =
+      List.fold_left (fun s (_, j) -> IS.add j s) IS.empty pairs
+    in
+    List.iter (fun (i, j) -> u.(i) <- merge u.(i) v_arr.(j)) pairs;
+    {
+      cs with
+      cs_u = u;
+      cs_v =
+        List.filteri (fun j _ -> not (IS.mem j matched_v))
+          (Array.to_list v_arr);
+      cs_iterations = cs.cs_iterations + 1;
+    }
+  end
+
+(* Multi-cycle fallback round: merge the single best compatible pair of
+   allocated units (still priced by Eq. 4), or report that none exists.
+   Equal-weight candidates are tie-broken on the canonical (min op id,
+   max-of-min op id) pair so the choice does not depend on the order U was
+   assembled in — promotion order would otherwise leak into the result and
+   break bit-identity between from-scratch and resumed runs. *)
+let fallback_round ?state ~params ~sa_table cs =
+  let nodes = cs.cs_u in
+  let min_op n = List.fold_left min max_int n.n_ops in
+  let best = ref None in
+  Array.iteri
+    (fun i ni ->
+      Array.iteri
+        (fun j nj ->
+          if i < j && compatible ni nj then begin
+            let w = merged_weight ?state ~params ~sa_table ni nj in
+            let a = min_op ni and b = min_op nj in
+            let key = (min a b, max a b) in
+            let better =
+              match !best with
+              | None -> true
+              | Some (_, _, w', key') -> w > w' || (w = w' && key < key')
+            in
+            if better then best := Some (i, j, w, key)
+          end)
+        nodes)
+    nodes;
+  match !best with
+  | None -> None
+  | Some (i, j, _, _) ->
+      let merged = merge nodes.(i) nodes.(j) in
+      let u =
+        Array.of_list
+          (List.filteri (fun k _ -> k <> j) (Array.to_list nodes))
+      in
+      u.(i) <- merged;
+      Some { cs with cs_u = u; cs_iterations = cs.cs_iterations + 1 }
+
+(* Last resort: first-fit interval packing.  Ops occupy contiguous
+   control-step ranges, so greedy assignment in start order uses exactly
+   the schedule's peak density — always within the constraint.  Eq. 4
+   quality is lost for this class, but binding never fails on a feasible
+   schedule.  Ties at the same start step are broken on op id: List.sort
+   is not stable, so a cstep-only key would leave equal-step order to the
+   stdlib's whims. *)
+let first_fit ~schedule ~regs cs ops_of_cls =
+  Telemetry.incr c_first_fit;
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (schedule.Schedule.cstep.(a.Cdfg.id), a.Cdfg.id)
+          (schedule.Schedule.cstep.(b.Cdfg.id), b.Cdfg.id))
+      ops_of_cls
+  in
+  (* Growable array of units, scanned in creation order (first fit):
+     appending to the old list representation copied the whole list per
+     op, quadratic in unit count. *)
+  let units = ref [||] in
+  let n_units = ref 0 in
+  let push n =
+    if !n_units = Array.length !units then begin
+      let grown = Array.make (max 16 (2 * !n_units)) n in
+      Array.blit !units 0 grown 0 !n_units;
+      units := grown
+    end;
+    !units.(!n_units) <- n;
+    incr n_units
+  in
+  List.iter
+    (fun op ->
+      let n = node_of_op schedule regs op in
+      let rec place i =
+        if i >= !n_units then push n
+        else if compatible !units.(i) n then !units.(i) <- merge !units.(i) n
+        else place (i + 1)
+      in
+      place 0)
+    sorted;
+  { cs with cs_u = Array.sub !units 0 !n_units; cs_v = [] }
+
+let groups_of cs =
+  Array.to_list cs.cs_u @ cs.cs_v
+  |> List.map (fun n -> (cs.cs_cls, List.sort compare n.n_ops))
+
+(* Run one class to completion: iterated matching while over the bound and
+   V is nonempty, then fallback merging, then first fit.  Returns the
+   groups plus the counters and whether first fit fired (so a memo replay
+   can re-report the same telemetry). *)
+let run_class ?state ~params ~sa_table ~resources ~schedule ~regs cs
+    ops_of_cls =
+  let rec matching cs =
+    if cs_units cs > resources && cs.cs_v <> [] then
+      matching (matching_round ?state ~params ~sa_table cs)
+    else cs
+  in
+  let rec fallback cs =
+    if cs_units cs > resources then
+      match fallback_round ?state ~params ~sa_table cs with
+      | Some cs' -> fallback cs'
+      | None -> cs
+    else cs
+  in
+  let cs = fallback (matching cs) in
+  let cs, used_first_fit =
+    if cs_units cs > resources then
+      (first_fit ~schedule ~regs cs ops_of_cls, true)
+    else (cs, false)
+  in
+  if cs_units cs > resources then
+    failwith
+      (Printf.sprintf
+         "Hlpower.bind: cannot meet resource constraint for class %s"
+         (Cdfg.class_to_string cs.cs_cls));
+  (groups_of cs, cs.cs_iterations, cs.cs_promoted, used_first_fit)
+
+let class_signature ~params ~sa_table ~resources ~schedule ~regs cls
+    ops_of_cls =
+  let reg o =
+    match o with
+    | Cdfg.Input k -> Reg_binding.reg_of_var regs (Hlp_cdfg.Lifetime.V_input k)
+    | Cdfg.Op j -> Reg_binding.reg_of_var regs (Hlp_cdfg.Lifetime.V_op j)
+  in
+  {
+    ck_cls = cls;
+    ck_alpha = params.alpha;
+    ck_beta = params.beta cls;
+    ck_width = Sa_table.width sa_table;
+    ck_k = Sa_table.k sa_table;
+    ck_resources = resources;
+    ck_ops =
+      List.map
+        (fun o ->
+          let s, f = Schedule.active_steps schedule o.Cdfg.id in
+          (o.Cdfg.id, s, f, reg o.Cdfg.left, reg o.Cdfg.right))
+        ops_of_cls;
+  }
+
+let bind ?state ?(params = default_params) ~sa_table ~regs ~resources
+    schedule =
   Telemetry.time "hlpower.bind" @@ fun () ->
   let cdfg = schedule.Schedule.cdfg in
   List.iter
@@ -106,139 +457,48 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
   let iterations = ref 0 in
   let promoted = ref 0 in
   (* Per class, seed U from the peak-density control step and run the
-     iterated matching. *)
+     iterated matching rounds. *)
   let bind_class cls =
-    let ops_of_cls =
-      Array.to_list (Cdfg.ops cdfg)
-      |> List.filter (fun o -> Cdfg.class_of o.Cdfg.kind = cls)
-    in
-    if ops_of_cls = [] then []
-    else begin
-      let peak = Schedule.peak_step schedule cls in
-      let in_peak o =
-        let s, f = Schedule.active_steps schedule o.Cdfg.id in
-        s <= peak && peak <= f
-      in
-      let u_ops, v_ops = List.partition in_peak ops_of_cls in
-      let u = ref (Array.of_list (List.map (node_of_op schedule regs) u_ops)) in
-      let v = ref (List.map (node_of_op schedule regs) v_ops) in
-      let count () = Array.length !u + List.length !v in
-      while count () > resources cls && !v <> [] do
-        let v_arr = Array.of_list !v in
-        let weight i j =
-          let un = !u.(i) and vn = v_arr.(j) in
-          if compatible un vn then
-            Some (merged_weight ~params ~sa_table un vn)
-          else None
-        in
-        let pairs =
-          Bipartite.max_weight_matching ~n_left:(Array.length !u)
-            ~n_right:(Array.length v_arr) ~weight
-        in
-        incr iterations;
-        if pairs = [] then begin
-          (* No compatible merge (multi-cycle case): allocate one more
-             unit by promoting the earliest V node into U. *)
-          match !v with
-          | first :: rest ->
-              u := Array.append !u [| first |];
-              v := rest;
-              incr promoted
-          | [] -> assert false
-        end
-        else begin
-          let matched_v =
-            List.fold_left (fun s (_, j) -> IS.add j s) IS.empty pairs
-          in
-          List.iter
-            (fun (i, j) -> !u.(i) <- merge !u.(i) v_arr.(j))
-            pairs;
-          v :=
-            List.filteri (fun j _ -> not (IS.mem j matched_v))
-              (Array.to_list v_arr)
-        end
-      done;
-      (* Multi-cycle fallback: promotions may leave more units than the
-         constraint with no V nodes left to absorb.  Keep merging the best
-         compatible pair of allocated units (still priced by Eq. 4) until
-         the constraint is met or no compatible pair remains. *)
-      let continue_merging = ref (count () > resources cls) in
-      while !continue_merging do
-        let best = ref None in
-        let nodes = !u in
-        Array.iteri
-          (fun i ni ->
-            Array.iteri
-              (fun j nj ->
-                if i < j && compatible ni nj then begin
-                  let w = merged_weight ~params ~sa_table ni nj in
-                  match !best with
-                  | Some (_, _, w') when w' >= w -> ()
-                  | _ -> best := Some (i, j, w)
-                end)
-              nodes)
-          nodes;
-        match !best with
-        | Some (i, j, _) ->
-            incr iterations;
-            nodes.(i) <- merge nodes.(i) nodes.(j);
-            u :=
-              Array.of_list
-                (List.filteri (fun k _ -> k <> j) (Array.to_list nodes));
-            continue_merging := count () > resources cls
-        | None -> continue_merging := false
-      done;
-      (* Last resort: first-fit interval packing.  Ops occupy contiguous
-         control-step ranges, so greedy assignment in start order uses
-         exactly the schedule's peak density — always within the
-         constraint.  Eq. 4 quality is lost for this class, but binding
-         never fails on a feasible schedule. *)
-      if count () > resources cls then begin
-        Telemetry.incr c_first_fit;
-        let sorted =
-          List.sort
-            (fun a b ->
-              compare schedule.Schedule.cstep.(a.Cdfg.id)
-                schedule.Schedule.cstep.(b.Cdfg.id))
+    let ops_of_cls = ops_of_class cdfg cls in
+    match seed_of_ops ~schedule ~regs cls ops_of_cls with
+    | None -> []
+    | Some cs ->
+        let resources = resources cls in
+        let fresh () =
+          run_class ?state ~params ~sa_table ~resources ~schedule ~regs cs
             ops_of_cls
         in
-        (* Growable array of units, scanned in creation order (first
-           fit): appending to the old list representation copied the
-           whole list per op, quadratic in unit count. *)
-        let units = ref [||] in
-        let n_units = ref 0 in
-        let push n =
-          if !n_units = Array.length !units then begin
-            let grown = Array.make (max 16 (2 * !n_units)) n in
-            Array.blit !units 0 grown 0 !n_units;
-            units := grown
-          end;
-          !units.(!n_units) <- n;
-          incr n_units
+        let groups, its, promos, _ =
+          match state with
+          | None -> fresh ()
+          | Some st -> (
+              let key =
+                class_signature ~params ~sa_table ~resources ~schedule ~regs
+                  cls ops_of_cls
+              in
+              match Hashtbl.find_opt st.class_memo key with
+              | Some cv ->
+                  st.st_class_hits <- st.st_class_hits + 1;
+                  Telemetry.incr c_class_hits;
+                  if cv.cv_first_fit then Telemetry.incr c_first_fit;
+                  (cv.cv_groups, cv.cv_iterations, cv.cv_promoted,
+                   cv.cv_first_fit)
+              | None ->
+                  st.st_class_misses <- st.st_class_misses + 1;
+                  Telemetry.incr c_class_misses;
+                  let groups, its, promos, ff = fresh () in
+                  Hashtbl.replace st.class_memo key
+                    {
+                      cv_groups = groups;
+                      cv_iterations = its;
+                      cv_promoted = promos;
+                      cv_first_fit = ff;
+                    };
+                  (groups, its, promos, ff))
         in
-        List.iter
-          (fun op ->
-            let n = node_of_op schedule regs op in
-            let rec place i =
-              if i >= !n_units then push n
-              else if compatible !units.(i) n then
-                !units.(i) <- merge !units.(i) n
-              else place (i + 1)
-            in
-            place 0)
-          sorted;
-        u := Array.sub !units 0 !n_units;
-        v := []
-      end;
-      if count () > resources cls then
-        failwith
-          (Printf.sprintf
-             "Hlpower.bind: cannot meet resource constraint for class %s"
-             (Cdfg.class_to_string cls));
-      (* Remaining V nodes become their own functional units. *)
-      Array.to_list !u @ !v
-      |> List.map (fun n -> (cls, List.sort compare n.n_ops))
-    end
+        iterations := !iterations + its;
+        promoted := !promoted + promos;
+        groups
   in
   let groups = List.concat_map bind_class Cdfg.all_classes in
   let binding = Binding.make ~schedule ~regs ~groups in
@@ -247,3 +507,16 @@ let bind ?(params = default_params) ~sa_table ~regs ~resources schedule =
   Telemetry.add c_iterations !iterations;
   Telemetry.add c_promotions !promoted;
   { binding; iterations = !iterations; promoted = !promoted }
+
+module Rounds = struct
+  type nonrec class_state = class_state
+
+  let seed = seed
+  let units = cs_units
+  let pending = cs_pending
+  let iterations cs = cs.cs_iterations
+  let promoted cs = cs.cs_promoted
+  let matching_round = matching_round
+  let fallback_round = fallback_round
+  let groups = groups_of
+end

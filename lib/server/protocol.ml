@@ -79,12 +79,61 @@ type lint_params = {
 let default_lint_params =
   { lint_bench = None; lint_binder = "both"; lint_width = 8 }
 
+(* Session ids are short server-generated tokens; the length cap keeps a
+   hostile client from using the echo as a storage amplifier. *)
+let max_session_id_len = 64
+
+(* The SA table's LUT arity is caller-visible for sessions (K<2 cannot
+   map the calibration datapath — the reachable S016 case); the ceiling
+   matches the largest LUT any supported device family offers. *)
+let max_session_k = 8
+
+type session_delta =
+  | D_add_op of {
+      d_kind : Cdfg.op_kind;
+      d_left : Cdfg.operand;
+      d_right : Cdfg.operand;
+      d_output : bool;
+    }
+  | D_remove_op of int
+  | D_set_resource of Cdfg.fu_class * int
+  | D_set_alpha of float
+
+type session_open_params = {
+  so_bench : string;
+  so_graph : Cdfg.t option;
+  so_binder : string;
+  so_alpha : float;
+  so_width : int;
+  so_k : int;
+  so_res_add : int option;
+  so_res_mult : int option;
+}
+
+let default_session_open_params =
+  {
+    so_bench = "";
+    so_graph = None;
+    so_binder = "hlpower";
+    so_alpha = 0.5;
+    so_width = 8;
+    so_k = 4;
+    so_res_add = None;
+    so_res_mult = None;
+  }
+
+type session_edit_params = { se_session : string; se_delta : session_delta }
+type session_close_params = { sc_session : string }
+
 type op =
   | Ping of int
   | Bind of bind_params
   | Flow of bind_params
   | Explore of explore_params
   | Lint of lint_params
+  | Session_open of session_open_params
+  | Session_edit of session_edit_params
+  | Session_close of session_close_params
   | Stats
 
 let op_name = function
@@ -93,6 +142,9 @@ let op_name = function
   | Flow _ -> "flow"
   | Explore _ -> "explore"
   | Lint _ -> "lint"
+  | Session_open _ -> "session_open"
+  | Session_edit _ -> "session_edit"
+  | Session_close _ -> "session_close"
   | Stats -> "stats"
 
 type request = { id : Json.t; deadline_ms : int option; op : op }
@@ -227,11 +279,62 @@ let json_of_bind_params p : Json.t =
     | None -> []
     | Some m -> [ ("model", json_of_model m) ])
 
+let json_of_delta : session_delta -> Json.t = function
+  | D_add_op { d_kind; d_left; d_right; d_output } ->
+      Obj
+        [
+          ("kind", String "add_op");
+          ("op_kind", String (Cdfg.kind_to_string d_kind));
+          ("left", json_of_operand d_left);
+          ("right", json_of_operand d_right);
+          ("output", Bool d_output);
+        ]
+  | D_remove_op id -> Obj [ ("kind", String "remove_op"); ("id", Int id) ]
+  | D_set_resource (cls, n) ->
+      Obj
+        [
+          ("kind", String "set_resource");
+          ("class", String (Cdfg.class_to_string cls));
+          ("units", Int n);
+        ]
+  | D_set_alpha a -> Obj [ ("kind", String "set_alpha"); ("alpha", Float a) ]
+
+let json_of_session_open_params p : Json.t =
+  Json.Obj
+    ([
+       ("bench", Json.String p.so_bench);
+       ("binder", Json.String p.so_binder);
+       ("alpha", Json.Float p.so_alpha);
+       ("width", Json.Int p.so_width);
+       ("k", Json.Int p.so_k);
+     ]
+    @ (match p.so_graph with
+      | None -> []
+      | Some g -> [ ("graph", json_of_graph g) ])
+    @
+    match (p.so_res_add, p.so_res_mult) with
+    | None, None -> []
+    | a, m ->
+        let f name = function
+          | None -> []
+          | Some n -> [ (name, Json.Int n) ]
+        in
+        [ ("resources", Json.Obj (f "add" a @ f "mult" m)) ])
+
 let json_of_op op : (string * Json.t) list =
   let params : Json.t option =
     match op with
     | Ping ms -> Some (Obj [ ("sleep_ms", Int ms) ])
     | Bind p | Flow p -> Some (json_of_bind_params p)
+    | Session_open p -> Some (json_of_session_open_params p)
+    | Session_edit p ->
+        Some
+          (Obj
+             [
+               ("session", String p.se_session);
+               ("delta", json_of_delta p.se_delta);
+             ])
+    | Session_close p -> Some (Obj [ ("session", String p.sc_session) ])
     | Explore p ->
         Some
           (Obj
@@ -735,6 +838,226 @@ let decode_request line =
                 else None))
           ~default
       in
+      let check_alpha a =
+        if not (usable_number a) then
+          add_problem
+            (Diagnostic.error "S009" Design
+               "parameter \"alpha\" is not a usable number (infinite, NaN \
+                or subnormal)")
+        else if not (a >= 0. && a <= 1.) then
+          problem "parameter \"alpha\" must be within [0, 1]"
+      in
+      let session_id () =
+        let s = field "session" Json.to_string_opt ~default:"" in
+        if s = "" then problem "parameter \"session\" is required"
+        else if String.length s > max_session_id_len then
+          problem "parameter \"session\" exceeds %d characters"
+            max_session_id_len;
+        s
+      in
+      let session_open_params () =
+        let d = default_session_open_params in
+        let graph_given =
+          match Json.member "graph" params with
+          | None | Some Json.Null -> false
+          | Some _ -> true
+        in
+        let graph =
+          match Json.member "graph" params with
+          | None | Some Json.Null -> None
+          | Some v -> decode_graph ~add:add_problem v
+        in
+        let res_add, res_mult =
+          match Json.member "resources" params with
+          | None | Some Json.Null -> (None, None)
+          | Some (Json.Obj kvs as r) ->
+              List.iter
+                (fun (k, _) ->
+                  if k <> "add" && k <> "mult" then
+                    problem "unknown resources field %S" k)
+                kvs;
+              let f name =
+                match Json.member name r with
+                | None | Some Json.Null -> None
+                | Some v -> (
+                    match Json.to_int v with
+                    | Some n when n >= 1 -> Some n
+                    | _ ->
+                        problem
+                          "resources field %S must be a positive integer"
+                          name;
+                        None)
+              in
+              (f "add", f "mult")
+          | Some _ ->
+              problem "parameter \"resources\" must be an object";
+              (None, None)
+        in
+        let p =
+          {
+            so_bench = field "bench" Json.to_string_opt ~default:d.so_bench;
+            so_binder =
+              field "binder" Json.to_string_opt ~default:d.so_binder;
+            so_alpha = field "alpha" Json.to_float ~default:d.so_alpha;
+            so_width = pos_int "width" ~default:d.so_width;
+            so_k = pos_int "k" ~default:d.so_k;
+            so_graph = graph;
+            so_res_add = res_add;
+            so_res_mult = res_mult;
+          }
+        in
+        if graph_given then begin
+          if p.so_bench <> "" then
+            problem
+              "parameters \"bench\" and \"graph\" are mutually exclusive"
+        end
+        else if p.so_bench = "" then
+          problem "parameter \"bench\" or \"graph\" is required";
+        if not (p.so_binder = "hlpower" || p.so_binder = "lopass") then
+          problem "parameter \"binder\" must be \"hlpower\" or \"lopass\"";
+        check_alpha p.so_alpha;
+        if p.so_width > max_width then
+          problem "parameter \"width\" must be within 1..%d (got %d)"
+            max_width p.so_width;
+        if p.so_k > max_session_k then
+          problem "parameter \"k\" must be within 1..%d (got %d)"
+            max_session_k p.so_k;
+        p
+      in
+      (* Delta shapes are validated here; references are checked against
+         the session's current graph by the router (S014), which this
+         decoder cannot see. *)
+      let session_delta () =
+        match Json.member "delta" params with
+        | None | Some Json.Null ->
+            problem "parameter \"delta\" is required";
+            None
+        | Some (Json.Obj _ as dv) -> (
+            let operand name =
+              match Json.member name dv with
+              | Some (Json.Obj _ as ov) -> (
+                  match (Json.member "input" ov, Json.member "op" ov) with
+                  | Some iv, None -> (
+                      match Json.to_int iv with
+                      | Some k when k >= 0 -> Some (Cdfg.Input k)
+                      | _ ->
+                          problem
+                            "delta operand field \"input\" must be a \
+                             non-negative integer";
+                          None)
+                  | None, Some jv -> (
+                      match Json.to_int jv with
+                      | Some j when j >= 0 -> Some (Cdfg.Op j)
+                      | _ ->
+                          problem
+                            "delta operand field \"op\" must be a \
+                             non-negative integer";
+                          None)
+                  | _ ->
+                      problem
+                        "delta operand must be exactly one of {\"input\": \
+                         k} or {\"op\": j}";
+                      None)
+              | _ ->
+                  problem "add_op delta is missing operand object %S" name;
+                  None
+            in
+            match Option.bind (Json.member "kind" dv) Json.to_string_opt with
+            | Some "add_op" -> (
+                let kind =
+                  match
+                    Option.bind (Json.member "op_kind" dv) Json.to_string_opt
+                  with
+                  | Some "add" -> Some Cdfg.Add
+                  | Some "sub" -> Some Cdfg.Sub
+                  | Some "mult" -> Some Cdfg.Mult
+                  | Some other ->
+                      problem
+                        "delta op_kind %S is not \"add\", \"sub\" or \
+                         \"mult\""
+                        other;
+                      None
+                  | None ->
+                      problem
+                        "add_op delta is missing a string \"op_kind\" field";
+                      None
+                in
+                let output =
+                  match Json.member "output" dv with
+                  | None | Some Json.Null -> false
+                  | Some v -> (
+                      match Json.to_bool v with
+                      | Some b -> b
+                      | None ->
+                          problem
+                            "delta field \"output\" must be a boolean";
+                          false)
+                in
+                match (kind, operand "left", operand "right") with
+                | Some k, Some l, Some r ->
+                    Some
+                      (D_add_op
+                         {
+                           d_kind = k;
+                           d_left = l;
+                           d_right = r;
+                           d_output = output;
+                         })
+                | _ -> None)
+            | Some "remove_op" -> (
+                match Option.bind (Json.member "id" dv) Json.to_int with
+                | Some id when id >= 0 -> Some (D_remove_op id)
+                | _ ->
+                    problem
+                      "remove_op delta requires a non-negative integer \
+                       \"id\"";
+                    None)
+            | Some "set_resource" -> (
+                let cls =
+                  match
+                    Option.bind (Json.member "class" dv) Json.to_string_opt
+                  with
+                  | Some "add" -> Some Cdfg.Add_sub
+                  | Some "mult" -> Some Cdfg.Multiplier
+                  | _ ->
+                      problem
+                        "set_resource delta requires \"class\" of \"add\" \
+                         or \"mult\"";
+                      None
+                in
+                match (cls, Option.bind (Json.member "units" dv) Json.to_int)
+                with
+                | Some c, Some n when n >= 1 -> Some (D_set_resource (c, n))
+                | Some _, _ ->
+                    problem
+                      "set_resource delta requires a positive integer \
+                       \"units\"";
+                    None
+                | None, _ -> None)
+            | Some "set_alpha" -> (
+                match Option.bind (Json.member "alpha" dv) Json.to_float with
+                | Some a when usable_number a && a >= 0. && a <= 1. ->
+                    Some (D_set_alpha a)
+                | Some a when not (usable_number a) ->
+                    add_problem
+                      (Diagnostic.error "S009" Design
+                         "delta field \"alpha\" is not a usable number \
+                          (infinite, NaN or subnormal)");
+                    None
+                | _ ->
+                    problem
+                      "set_alpha delta requires \"alpha\" within [0, 1]";
+                    None)
+            | Some other ->
+                problem "unknown delta kind %S" other;
+                None
+            | None ->
+                problem "delta is missing a string \"kind\" field";
+                None)
+        | Some _ ->
+            problem "parameter \"delta\" must be an object";
+            None
+      in
       let op =
         match Json.member "op" json with
         | Some (Json.String "ping") ->
@@ -792,6 +1115,19 @@ let decode_request line =
                 "parameter \"binder\" must be \"hlpower\", \"lopass\" or \
                  \"both\"";
             Some (Lint p)
+        | Some (Json.String "session_open") ->
+            Some (Session_open (session_open_params ()))
+        | Some (Json.String "session_edit") ->
+            let se_session = session_id () in
+            let se_delta =
+              (* [None] always comes with a recorded problem, so the
+                 placeholder below never survives to execution — the
+                 request is rejected as [Bad_request]. *)
+              Option.value ~default:(D_remove_op 0) (session_delta ())
+            in
+            Some (Session_edit { se_session; se_delta })
+        | Some (Json.String "session_close") ->
+            Some (Session_close { sc_session = session_id () })
         | Some (Json.String "stats") -> Some Stats
         | Some (Json.String other) ->
             problems :=

@@ -75,7 +75,46 @@
     ({!max_graph_ops}, {!max_graph_inputs}, {!max_graph_outputs}) are
     enforced against the raw JSON before any per-element validation
     (S007), so oversized hostile graphs are turned away in O(size of
-    the frame). *)
+    the frame).
+
+    {2 Incremental sessions}
+
+    [session_open] admits a CDFG (named benchmark or inline graph, same
+    rules as [bind]) into a server-side session, binds it, and replies
+    with a server-generated session id plus the bind result.
+    [session_edit] applies one delta — add/remove an op, change a
+    resource bound, nudge alpha — re-binds incrementally against the
+    session's warm binder state, and replies with a [bind] object
+    {e bit-identical} to a from-scratch bind of the edited graph.
+    [session_close] discharges the session.
+
+    {v
+    {"op": "session_open",
+     "params": {"bench": "pr", "binder": "hlpower", "alpha": 0.5,
+                "width": 8, "k": 4, "resources": {"add": 2, "mult": 2}}}
+    {"op": "session_edit",
+     "params": {"session": "s-1",
+                "delta": {"kind": "add_op", "op_kind": "add",
+                          "left": {"input": 0}, "right": {"op": 3},
+                          "output": true}}}
+    {"op": "session_edit",
+     "params": {"session": "s-1",
+                "delta": {"kind": "set_alpha", "alpha": 1.0}}}
+    {"op": "session_close", "params": {"session": "s-1"}}
+    v}
+
+    Delta kinds: [add_op] (append one op; [output] also lists it as a
+    graph output), [remove_op] (by id; the op must feed nothing),
+    [set_resource] ([class] of ["add"]/["mult"], positive [units]),
+    [set_alpha].  Deltas are transactional: an invalid delta leaves the
+    session unchanged.  Session-specific diagnostics (under
+    [bad_request]): S013 — unknown, closed or expired session id; S014
+    — a delta that does not validate against the session's current
+    graph (bad reference, removing a consumed op or the last output,
+    a resource bound below the schedule's density); S015 — the session
+    table is full.  S016 reports an SA-calibration failure (e.g. a K<2
+    library cannot map the (2,2) calibration datapath) for any op that
+    runs the hlpower binder. *)
 
 module Diagnostic = Hlp_lint.Diagnostic
 
@@ -148,12 +187,56 @@ type lint_params = {
 
 val default_lint_params : lint_params
 
+(** Length cap on a [session] parameter (server ids are far shorter;
+    the cap stops echo amplification). *)
+val max_session_id_len : int
+
+(** Ceiling on the [k] (LUT arity) session parameter. *)
+val max_session_k : int
+
+(** One session edit.  Shapes are validated by {!decode_request};
+    references are checked against the session's current graph by the
+    router (S014). *)
+type session_delta =
+  | D_add_op of {
+      d_kind : Hlp_cdfg.Cdfg.op_kind;
+      d_left : Hlp_cdfg.Cdfg.operand;
+      d_right : Hlp_cdfg.Cdfg.operand;
+      d_output : bool;  (** also list the new op as a graph output *)
+    }
+  | D_remove_op of int  (** op id; must have no consumers *)
+  | D_set_resource of Hlp_cdfg.Cdfg.fu_class * int
+  | D_set_alpha of float
+
+(** Parameters of [session_open] — admission mirrors [bind] (named
+    benchmark xor inline graph, same caps), plus the SA table's LUT
+    arity [k] and optional explicit resource bounds (default: the
+    schedule's per-class density, the paper's lower bound). *)
+type session_open_params = {
+  so_bench : string;
+  so_graph : Hlp_cdfg.Cdfg.t option;
+  so_binder : string;  (** ["hlpower"] or ["lopass"] *)
+  so_alpha : float;
+  so_width : int;
+  so_k : int;  (** within [1..max_session_k]; K<2 trips S016 *)
+  so_res_add : int option;
+  so_res_mult : int option;
+}
+
+val default_session_open_params : session_open_params
+
+type session_edit_params = { se_session : string; se_delta : session_delta }
+type session_close_params = { sc_session : string }
+
 type op =
   | Ping of int  (** milliseconds to hold the worker slot (testing/health) *)
   | Bind of bind_params  (** binder only: binding summary + mux stats *)
   | Flow of bind_params  (** full pipeline: the {!Hlp_rtl.Flow.report} *)
   | Explore of explore_params
   | Lint of lint_params
+  | Session_open of session_open_params
+  | Session_edit of session_edit_params
+  | Session_close of session_close_params
   | Stats
 
 (** Wire name of an operation (["ping"], ["bind"], ...). *)

@@ -19,9 +19,20 @@
 
 type t
 
-(** [create ?sa_cache_dir ()] — [sa_cache_dir] overrides the
-    [HLP_SA_CACHE] environment variable for the daemon's tables. *)
-val create : ?sa_cache_dir:string -> unit -> t
+(** [create ?sa_cache_dir ?session_ttl_ms ?max_sessions ()] —
+    [sa_cache_dir] overrides the [HLP_SA_CACHE] environment variable for
+    the daemon's tables.  [session_ttl_ms] (default: [HLP_SESSION_TTL_MS]
+    or 600 000) is the idle time after which a session is evicted;
+    expiry is checked lazily, on every session operation, against the
+    injectable {!Hlp_util.Clock.now} timeline.  [max_sessions] (default:
+    [HLP_SESSION_MAX] or 256) caps concurrently open sessions (S015
+    beyond it). *)
+val create :
+  ?sa_cache_dir:string ->
+  ?session_ttl_ms:int ->
+  ?max_sessions:int ->
+  unit ->
+  t
 
 (** [handle t ~checkpoint op] runs one operation to completion on the
     calling domain.  [Stats] is {e not} handled here (the server owns
@@ -36,6 +47,18 @@ val handle :
 (** [sa_stats_json t] describes every warm table: width, k, entries,
     hits, misses, disk hits. *)
 val sa_stats_json : t -> Json.t
+
+(** [session_stats_json t] — open/opened/closed/evicted session counts
+    plus the TTL and capacity, for the daemon's [stats] reply. *)
+val session_stats_json : t -> Json.t
+
+(** Number of currently open sessions. *)
+val open_sessions : t -> int
+
+(** [drain_sessions t] closes every open session (daemon shutdown);
+    returns how many were open.  Subsequent operations on their ids
+    answer S013. *)
+val drain_sessions : t -> int
 
 (** [persist t] flushes every persistent table to disk (atomic temp +
     rename), as on process exit. *)

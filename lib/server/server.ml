@@ -147,6 +147,7 @@ let stats_json t : Json.t =
             ("rejected", Json.Int s.Scheduler.rejected);
           ] );
       ("sa_tables", Router.sa_stats_json t.router);
+      ("sessions", Router.session_stats_json t.router);
       ( "telemetry",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters ()))
@@ -413,7 +414,14 @@ let run t =
   List.iter
     (fun { th; _ } -> match th with Some th -> Thread.join th | None -> ())
     conns;
-  (* 4. Flush warm state and diagnostics. *)
+  (* 4. Flush warm state and diagnostics.  Open sessions are
+        discharged first: accepted session work has already completed
+        (step 2), so nothing can race the table reset, and a client
+        that reconnects after restart gets a clean S013 instead of a
+        stale id silently resolving. *)
+  let dropped = Router.drain_sessions t.router in
+  if dropped > 0 then
+    Logs.info (fun m -> m "drain: closed %d open session(s)" dropped);
   Router.persist t.router;
   Telemetry.write_if_requested ();
   (try

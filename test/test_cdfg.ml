@@ -177,6 +177,145 @@ let test_find_unknown () =
   check_bool "unknown raises" true
     (try ignore (Benchmarks.find "nope"); false with Not_found -> true)
 
+(* --- graph deltas and schedule patches (incremental sessions) --- *)
+
+module Delta = Hlp_cdfg.Delta
+
+let schedules_equal a b =
+  a.Schedule.num_csteps = b.Schedule.num_csteps
+  && a.Schedule.cstep = b.Schedule.cstep
+
+let test_delta_add_appends () =
+  let g = diamond () in
+  match
+    Delta.apply g
+      (Delta.Add_op
+         { kind = Cdfg.Add; left = Cdfg.Op 2; right = Cdfg.Input 0;
+           output = true })
+  with
+  | Error e -> Alcotest.failf "add rejected: %s" e
+  | Ok g' ->
+      check_int "one more op" (Cdfg.num_ops g + 1) (Cdfg.num_ops g');
+      let op = Cdfg.op g' (Cdfg.num_ops g) in
+      check_bool "appended op reads op 2" true (op.Cdfg.left = Cdfg.Op 2);
+      check_bool "new output listed" true
+        (List.mem (Cdfg.Op (Cdfg.num_ops g)) (Cdfg.outputs g'));
+      (* The pre-existing prefix is untouched. *)
+      for i = 0 to Cdfg.num_ops g - 1 do
+        check_bool "prefix op unchanged" true (Cdfg.op g' i = Cdfg.op g i)
+      done
+
+let test_delta_add_rejects_bad_operands () =
+  let g = diamond () in
+  let bad op =
+    match Delta.apply g op with Ok _ -> false | Error _ -> true
+  in
+  check_bool "forward op reference" true
+    (bad
+       (Delta.Add_op
+          { kind = Cdfg.Add; left = Cdfg.Op 3; right = Cdfg.Input 0;
+            output = true }));
+  check_bool "input out of range" true
+    (bad
+       (Delta.Add_op
+          { kind = Cdfg.Add; left = Cdfg.Input 2; right = Cdfg.Input 0;
+            output = true }))
+
+let test_delta_remove_renumbers () =
+  (* Removing op 1 (the add) from a diamond variant where nothing reads
+     it: ids above shift down and operand references follow. *)
+  let g =
+    Cdfg.create ~name:"d2" ~num_inputs:2
+      ~ops:
+        [
+          { Cdfg.id = 0; kind = Cdfg.Mult; left = Cdfg.Input 0;
+            right = Cdfg.Input 1 };
+          { Cdfg.id = 1; kind = Cdfg.Add; left = Cdfg.Input 0;
+            right = Cdfg.Input 1 };
+          { Cdfg.id = 2; kind = Cdfg.Sub; left = Cdfg.Op 0;
+            right = Cdfg.Input 1 };
+        ]
+      ~outputs:[ Cdfg.Op 2 ]
+  in
+  match Delta.apply g (Delta.Remove_op 1) with
+  | Error e -> Alcotest.failf "remove rejected: %s" e
+  | Ok g' ->
+      check_int "one fewer op" 2 (Cdfg.num_ops g');
+      let op1 = Cdfg.op g' 1 in
+      check_bool "survivor remapped" true
+        (op1.Cdfg.kind = Cdfg.Sub && op1.Cdfg.left = Cdfg.Op 0);
+      check_bool "outputs remapped" true
+        (Cdfg.outputs g' = [ Cdfg.Op 1 ])
+
+let test_delta_remove_rejections () =
+  let g = diamond () in
+  let rejected id =
+    match Delta.apply g (Delta.Remove_op id) with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  check_bool "consumed op" true (rejected 0);
+  check_bool "out of range" true (rejected 3);
+  check_bool "sole output" true (rejected 2);
+  let single =
+    Cdfg.create ~name:"one" ~num_inputs:2
+      ~ops:
+        [ { Cdfg.id = 0; kind = Cdfg.Add; left = Cdfg.Input 0;
+            right = Cdfg.Input 1 } ]
+      ~outputs:[ Cdfg.Op 0 ]
+  in
+  check_bool "only op" true
+    (match Delta.apply single (Delta.Remove_op 0) with
+    | Ok _ -> false
+    | Error _ -> true)
+
+(* Patched ASAP schedules must be indistinguishable from recomputing
+   from scratch — the property the session layer's incremental path
+   rests on. *)
+let prop_patch_append_equals_asap =
+  QCheck.Test.make ~name:"patch_append == asap from scratch" ~count:100
+    QCheck.(pair (int_range 1 8) (pair (int_range 0 40) (int_range 0 40)))
+    (fun (taps, (x, y)) ->
+      let g = Benchmarks.fir ~taps in
+      let operand v =
+        if v mod 2 = 0 then Cdfg.Input (v / 2 mod Cdfg.num_inputs g)
+        else Cdfg.Op (v / 2 mod Cdfg.num_ops g)
+      in
+      match
+        Delta.apply g
+          (Delta.Add_op
+             { kind = [| Cdfg.Add; Cdfg.Sub; Cdfg.Mult |].(x mod 3);
+               left = operand x; right = operand y; output = y mod 2 = 0 })
+      with
+      | Error _ -> true
+      | Ok g' ->
+          let s = Schedule.asap g in
+          schedules_equal (Schedule.patch_append s g') (Schedule.asap g'))
+
+let prop_patch_remove_equals_asap =
+  QCheck.Test.make ~name:"patch_remove == asap from scratch" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 0 100))
+    (fun (taps, r) ->
+      let g = Benchmarks.fir ~taps in
+      (* Probe for a removable op starting at a random id; graphs where
+         nothing is removable pass trivially. *)
+      let n = Cdfg.num_ops g in
+      let rec probe k =
+        if k = n then None
+        else
+          let id = (r + k) mod n in
+          match Delta.apply g (Delta.Remove_op id) with
+          | Ok g' -> Some (id, g')
+          | Error _ -> probe (k + 1)
+      in
+      match probe 0 with
+      | None -> true
+      | Some (id, g') ->
+          let s = Schedule.asap g in
+          schedules_equal
+            (Schedule.patch_remove s g' ~removed:id)
+            (Schedule.asap g'))
+
 (* Properties over random fir sizes and constraints. *)
 let prop_list_schedule_valid =
   QCheck.Test.make ~name:"list schedule valid on random firs" ~count:50
@@ -223,4 +362,13 @@ let suite =
     Alcotest.test_case "find unknown benchmark" `Quick test_find_unknown;
     QCheck_alcotest.to_alcotest prop_list_schedule_valid;
     QCheck_alcotest.to_alcotest prop_asap_shortest;
+    Alcotest.test_case "delta add appends" `Quick test_delta_add_appends;
+    Alcotest.test_case "delta add rejects bad operands" `Quick
+      test_delta_add_rejects_bad_operands;
+    Alcotest.test_case "delta remove renumbers" `Quick
+      test_delta_remove_renumbers;
+    Alcotest.test_case "delta remove rejections" `Quick
+      test_delta_remove_rejections;
+    QCheck_alcotest.to_alcotest prop_patch_append_equals_asap;
+    QCheck_alcotest.to_alcotest prop_patch_remove_equals_asap;
   ]

@@ -32,5 +32,6 @@ let () =
       ("sim_parallel", Test_sim_parallel.suite);
       ("protocol", Test_protocol.suite);
       ("scheduler", Test_scheduler.suite);
+      ("session", Test_session.suite);
       ("server", Test_server.suite);
     ]

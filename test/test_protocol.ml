@@ -789,6 +789,108 @@ let test_writer_clean_failure_is_error () =
       | `Poisoned -> Alcotest.fail "zero-byte failure must not poison"
       | `Dropped -> Alcotest.fail "fresh writer cannot drop")
 
+(* --- session op codec --- *)
+
+let session_requests =
+  let graph =
+    Hlp_cdfg.Cdfg.create ~name:"g" ~num_inputs:2
+      ~ops:
+        [ { Hlp_cdfg.Cdfg.id = 0; kind = Hlp_cdfg.Cdfg.Add;
+            left = Hlp_cdfg.Cdfg.Input 0; right = Hlp_cdfg.Cdfg.Input 1 } ]
+      ~outputs:[ Hlp_cdfg.Cdfg.Op 0 ]
+  in
+  let deltas =
+    [
+      P.D_add_op
+        { d_kind = Hlp_cdfg.Cdfg.Mult;
+          d_left = Hlp_cdfg.Cdfg.Input 1;
+          d_right = Hlp_cdfg.Cdfg.Op 0;
+          d_output = true };
+      P.D_remove_op 3;
+      P.D_set_resource (Hlp_cdfg.Cdfg.Add_sub, 2);
+      P.D_set_resource (Hlp_cdfg.Cdfg.Multiplier, 1);
+      P.D_set_alpha 0.75;
+    ]
+  in
+  [
+    { P.id = Json.Int 10;
+      deadline_ms = None;
+      op =
+        P.Session_open
+          { P.default_session_open_params with P.so_bench = "pr" } };
+    { P.id = Json.Int 11;
+      deadline_ms = Some 500;
+      op =
+        P.Session_open
+          { P.so_bench = "";
+            so_graph = Some graph;
+            so_binder = "lopass";
+            so_alpha = 1.0;
+            so_width = 4;
+            so_k = 3;
+            so_res_add = Some 2;
+            so_res_mult = Some 1 } };
+    { P.id = Json.Int 12;
+      deadline_ms = None;
+      op = P.Session_close { P.sc_session = "s-9" } };
+  ]
+  @ List.mapi
+      (fun i d ->
+        { P.id = Json.Int (20 + i);
+          deadline_ms = None;
+          op = P.Session_edit { P.se_session = "s-1"; se_delta = d } })
+      deltas
+
+let test_session_roundtrip () =
+  List.iter
+    (fun req ->
+      let line = P.encode_request req in
+      match P.decode_request line with
+      | Ok req' ->
+          check (Printf.sprintf "session request %s round trips" line) true
+            (req = req')
+      | Error _ -> Alcotest.failf "%s failed to decode" line)
+    session_requests
+
+let test_session_decode_errors () =
+  let bad line = ignore (decode_err line) in
+  (* Missing or oversized session id. *)
+  bad "{\"id\": 1, \"op\": \"session_edit\", \"params\": {\"delta\": \
+       {\"kind\": \"set_alpha\", \"alpha\": 0.5}}}";
+  bad
+    (Printf.sprintf
+       "{\"id\": 1, \"op\": \"session_close\", \"params\": {\"session\": \
+        \"%s\"}}"
+       (String.make (P.max_session_id_len + 1) 'x'));
+  (* Open needs exactly one of bench/graph. *)
+  bad "{\"id\": 1, \"op\": \"session_open\", \"params\": {}}";
+  (* K is caller-visible but capped. *)
+  bad
+    (Printf.sprintf
+       "{\"id\": 1, \"op\": \"session_open\", \"params\": {\"bench\": \
+        \"pr\", \"k\": %d}}"
+       (P.max_session_k + 1));
+  bad
+    "{\"id\": 1, \"op\": \"session_open\", \"params\": {\"bench\": \"pr\", \
+     \"k\": 0}}";
+  (* Unknown delta kind, bad alpha, bad resource count. *)
+  bad
+    "{\"id\": 1, \"op\": \"session_edit\", \"params\": {\"session\": \
+     \"s-1\", \"delta\": {\"kind\": \"frobnicate\"}}}";
+  let e =
+    decode_err
+      "{\"id\": 1, \"op\": \"session_edit\", \"params\": {\"session\": \
+       \"s-1\", \"delta\": {\"kind\": \"set_alpha\", \"alpha\": 1e999}}}"
+  in
+  check "unusable alpha carries S009" true (has_code e "S009");
+  bad
+    "{\"id\": 1, \"op\": \"session_edit\", \"params\": {\"session\": \
+     \"s-1\", \"delta\": {\"kind\": \"set_resource\", \"class\": \"mult\", \
+     \"units\": 0}}}";
+  bad
+    "{\"id\": 1, \"op\": \"session_edit\", \"params\": {\"session\": \
+     \"s-1\", \"delta\": {\"kind\": \"remove_op\", \"id\": -1}}}"
+
 let suite =
   [
     Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
@@ -843,4 +945,8 @@ let suite =
       test_writer_poisons_on_torn_frame;
     Alcotest.test_case "clean write failure not poisoned" `Quick
       test_writer_clean_failure_is_error;
+    Alcotest.test_case "session ops round trip" `Quick
+      test_session_roundtrip;
+    Alcotest.test_case "session decode errors" `Quick
+      test_session_decode_errors;
   ]

@@ -449,6 +449,113 @@ let test_drain_completes_accepted () =
       | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
           ()))
 
+(* --- incremental sessions over the wire --- *)
+
+let result_of = function
+  | Ok { P.payload = P.Result { result; _ }; _ } -> result
+  | Ok { P.payload = P.Error { message; _ }; _ } ->
+      Alcotest.failf "error reply: %s" message
+  | Error msg -> Alcotest.failf "transport: %s" msg
+
+let reply_has_diag code = function
+  | Ok { P.payload = P.Error { diagnostics; _ }; _ } ->
+      List.exists (fun d -> d.Hlp_lint.Diagnostic.code = code) diagnostics
+  | _ -> false
+
+let test_sessions_over_the_wire () =
+  with_server ~workers:2 (fun socket _server ->
+      let a = Client.connect socket in
+      let b = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close a; Client.close b)
+        (fun () ->
+          let rid = ref 0 in
+          let req c op =
+            incr rid;
+            Client.request c { P.id = Json.Int !rid; deadline_ms = None; op }
+          in
+          let j =
+            result_of
+              (req a
+                 (P.Session_open
+                    { P.default_session_open_params with P.so_bench = "pr" }))
+          in
+          let sid =
+            match Json.member "session" j with
+            | Some (Json.String s) -> s
+            | _ -> Alcotest.fail "open reply has no session id"
+          in
+          (* Sessions are daemon state, not connection state: another
+             connection continues the same session. *)
+          let e =
+            result_of
+              (req b
+                 (P.Session_edit
+                    { P.se_session = sid; se_delta = P.D_set_alpha 1.0 }))
+          in
+          check "edit from second connection" true
+            (Json.member "bind" e <> None);
+          (* The daemon's stats carry the session table. *)
+          (match Json.member "sessions" (result_of (req a P.Stats)) with
+          | Some (Json.Obj fields) ->
+              check "stats count the open session" true
+                (List.assoc_opt "open" fields = Some (Json.Int 1))
+          | _ -> Alcotest.fail "stats reply has no sessions object");
+          let c =
+            result_of (req b (P.Session_close { P.sc_session = sid }))
+          in
+          check "close reports the edit" true
+            (Json.member "edits" c = Some (Json.Int 1));
+          check "edit after close -> S013 over the wire" true
+            (reply_has_diag "S013"
+               (req a
+                  (P.Session_edit
+                     { P.se_session = sid; se_delta = P.D_set_alpha 0.5 })))))
+
+let test_drain_with_open_sessions () =
+  (* SIGTERM (Server.shutdown) with sessions still open must drain
+     cleanly: in-flight replies delivered, the listener closed, and the
+     process not wedged on session state. *)
+  with_server ~workers:2 (fun socket server ->
+      let c = Client.connect socket in
+      let opened =
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            List.map
+              (fun (i, bench) ->
+                match
+                  Client.request c
+                    { P.id = Json.Int i;
+                      deadline_ms = None;
+                      op =
+                        P.Session_open
+                          { P.default_session_open_params with
+                            P.so_bench = bench } }
+                with
+                | Ok { P.payload = P.Result _; _ } -> true
+                | _ -> false)
+              [ (1, "pr"); (2, "wang") ])
+      in
+      check "both sessions opened" true (List.for_all Fun.id opened);
+      Server.shutdown server;
+      (* Drain finishes asynchronously; give the listener a bounded
+         window to close, then new connections must be refused. *)
+      let rec refused attempts =
+        if attempts = 0 then
+          Alcotest.fail "listener still accepting after drain"
+        else
+          match Client.connect socket with
+          | c2 ->
+              Client.close c2;
+              Thread.delay 0.05;
+              refused (attempts - 1)
+          | exception
+              Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+              ()
+      in
+      refused 100)
+
 let test_draining_refuses_new_requests () =
   with_server ~workers:1 (fun socket server ->
       let c = Client.connect socket in
@@ -592,6 +699,10 @@ let suite =
       test_hostile_graph_over_wire;
     Alcotest.test_case "inline graph engines identical" `Quick
       test_inline_graph_engines_identical;
+    Alcotest.test_case "sessions live on the daemon, not the socket" `Quick
+      test_sessions_over_the_wire;
+    Alcotest.test_case "drain with open sessions is clean" `Quick
+      test_drain_with_open_sessions;
     Alcotest.test_case "drain completes accepted work" `Quick
       test_drain_completes_accepted;
     Alcotest.test_case "draining refuses new work" `Quick
