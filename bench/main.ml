@@ -36,7 +36,13 @@
                   session_close) and the run reports full-bind vs
                   incremental p50/p99; any protocol error exits 1
      HLP_SESSION_BENCH_EDITS  one-op edits per benchmark in the
-                  in-process incremental-session section (default 40) *)
+                  in-process incremental-session section (default 40)
+     HLP_CLUSTER  if 1, run the cluster-scaling section: an in-process
+                  head over worker fleets of 1/2/4, a slot-bound and a
+                  CPU-bound workload per fleet size, and a kill-a-worker
+                  chaos run that must lose zero accepted requests; the
+                  results land in the bench JSON as a "cluster"
+                  section *)
 
 module Cdfg = Hlp_cdfg.Cdfg
 module Schedule = Hlp_cdfg.Schedule
@@ -960,6 +966,225 @@ let session_bench () =
     (Lazy.force session_rows)
 
 (* ------------------------------------------------------------------ *)
+(* Cluster scaling (HLP_CLUSTER=1): an in-process head over an
+   in-process worker fleet — the same topology the cluster-smoke CI
+   job drives across real process boundaries.  Two workloads per fleet
+   size: [ping 15] holds a scheduler slot for 15 ms without burning
+   CPU, so aggregate throughput scales with the worker count even on a
+   single-core host; [bind] is the real CPU-bound binder and is
+   recorded as-is (it can only scale with physical cores).  A chaos
+   sub-run stops one worker mid-load and requires every request the
+   generator sent to come back as a result: the head's failover plus
+   the client's bounded retry must lose nothing. *)
+
+type cluster_row = {
+  cl_workers : int;
+  cl_op : string;
+  cl_clients : int;
+  cl_total : int;
+  cl_ok : int;
+  cl_wall_s : float;
+}
+
+type cluster_chaos = {
+  ch_workers : int;
+  ch_sent : int;
+  ch_ok : int;
+  ch_killed : string;
+}
+
+let cluster_enabled =
+  match Sys.getenv_opt "HLP_CLUSTER" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let cluster_rows : cluster_row list ref = ref []
+let cluster_chaos_row : cluster_chaos option ref = ref None
+
+let cluster_rps op n =
+  match
+    List.find_opt (fun r -> r.cl_op = op && r.cl_workers = n) !cluster_rows
+  with
+  | Some r when r.cl_wall_s > 0. -> float_of_int r.cl_total /. r.cl_wall_s
+  | _ -> 0.
+
+let cluster_section () =
+  if cluster_enabled then begin
+    let module P = Hlp_server.Protocol in
+    let module J = Hlp_server.Json in
+    let module S = Hlp_server.Server in
+    let module C = Hlp_server.Client in
+    let module Head = Hlp_cluster.Head in
+    let module Fwd = Hlp_cluster.Forwarder in
+    section "Cluster scaling (consistent-hash head over a worker fleet)";
+    let sock_n = ref 0 in
+    let fresh tag =
+      incr sock_n;
+      Printf.sprintf "/tmp/hlp_bench_cl_%s_%d_%d.sock" tag (Unix.getpid ())
+        !sock_n
+    in
+    (* One scheduler slot per worker: the slot, not the CPU, is the
+       resource the ping workload contends for. *)
+    let start_worker name =
+      let socket_path = fresh name in
+      let config = { S.default_config with S.socket_path; workers = 1 } in
+      let server = S.create ~config () in
+      let runner = Thread.create (fun () -> S.run server) () in
+      (name, socket_path, server, runner)
+    in
+    (* The chaos run stops a worker mid-load and teardown stops it
+       again; key the guard by socket path, which is unique. *)
+    let downed = Hashtbl.create 8 in
+    let stop_worker (_, socket_path, server, runner) =
+      if not (Hashtbl.mem downed socket_path) then begin
+        Hashtbl.replace downed socket_path ();
+        S.shutdown server;
+        Thread.join runner;
+        try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+      end
+    in
+    let with_fleet n f =
+      let workers =
+        List.init n (fun i -> start_worker (Printf.sprintf "w%d" i))
+      in
+      let head_socket = fresh "head" in
+      let config =
+        {
+          Head.default_config with
+          Head.socket_path = head_socket;
+          backends =
+            List.map
+              (fun (name, sock, _, _) -> (name, Fwd.Unix_path sock))
+              workers;
+          fail_threshold = 1;
+          retry_attempts = 4;
+          retry_backoff_ms = 10;
+          forward_timeout_s = Some 60.;
+        }
+      in
+      let head = Head.create ~config () in
+      let runner = Thread.create (fun () -> Head.run head) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Head.shutdown head;
+          Thread.join runner;
+          List.iter stop_worker workers;
+          try Unix.unlink head_socket with Unix.Unix_error _ -> ())
+        (fun () -> f ~head_socket ~head ~workers)
+    in
+    (* Widths 2..7 spread the ring keys over the shards; ping is
+       keyless and round-robins over the live fleet. *)
+    let op_of kind i =
+      match kind with
+      | `Ping -> P.Ping 15
+      | `Bind ->
+          P.Bind
+            {
+              P.default_bind_params with
+              P.bench = "pr";
+              width = 2 + (i mod 6);
+              vectors = 10;
+            }
+    in
+    let run_load ~head_socket ~clients ~requests kind =
+      let ok = Atomic.make 0 and errors = Atomic.make 0 in
+      let body c_idx =
+        let c = C.connect head_socket in
+        Fun.protect
+          ~finally:(fun () -> C.close c)
+          (fun () ->
+            for r = 0 to requests - 1 do
+              let id = (c_idx * requests) + r in
+              match
+                C.request_retry ~attempts:5 ~backoff_ms:10 c
+                  { P.id = J.Int id; deadline_ms = None; op = op_of kind id }
+              with
+              | Ok { P.payload = P.Result _; _ } -> Atomic.incr ok
+              | Ok { P.payload = P.Error _; _ } | Error _ ->
+                  Atomic.incr errors
+            done)
+      in
+      let t0 = now () in
+      let threads = List.init clients (fun i -> Thread.create body i) in
+      List.iter Thread.join threads;
+      (now () -. t0, Atomic.get ok, Atomic.get errors)
+    in
+    List.iter
+      (fun n ->
+        with_fleet n (fun ~head_socket ~head:_ ~workers:_ ->
+            (* Warm the forwarder pool and the workers' SA tables out
+               of band so the measured rows compare like with like. *)
+            ignore (run_load ~head_socket ~clients:2 ~requests:6 `Bind);
+            List.iter
+              (fun (kind, name, clients, requests) ->
+                let wall, ok, errors =
+                  run_load ~head_socket ~clients ~requests kind
+                in
+                if errors > 0 then begin
+                  Printf.eprintf
+                    "cluster: %d error replies (%s, %d workers)\n%!" errors
+                    name n;
+                  exit 1
+                end;
+                let total = clients * requests in
+                Printf.printf
+                  "cluster: %d worker(s)  %-4s  %d clients x %2d  %6.2f s  \
+                   %7.1f req/s\n\
+                   %!"
+                  n name clients requests wall
+                  (float_of_int total /. wall);
+                cluster_rows :=
+                  !cluster_rows
+                  @ [
+                      {
+                        cl_workers = n;
+                        cl_op = name;
+                        cl_clients = clients;
+                        cl_total = total;
+                        cl_ok = ok;
+                        cl_wall_s = wall;
+                      };
+                    ])
+              [ (`Ping, "ping", 8, 12); (`Bind, "bind", 4, 6) ]))
+      [ 1; 2; 4 ];
+    let lo = cluster_rps "ping" 1 and hi = cluster_rps "ping" 4 in
+    if lo > 0. then
+      Printf.printf "cluster: slot-bound scaling 1 -> 4 workers: %.2fx\n%!"
+        (hi /. lo);
+    (* Chaos: stop the first worker mid-load.  Zero lost accepted
+       requests — every request the generator sent must come back as a
+       result, via the head's failover and the client's retry. *)
+    with_fleet 4 (fun ~head_socket ~head ~workers ->
+        let clients = 6 and requests = 20 in
+        let killed_name, _, _, _ = List.hd workers in
+        let killer =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.4;
+              stop_worker (List.hd workers);
+              Head.force_health_round head)
+            ()
+        in
+        let _, ok, errors = run_load ~head_socket ~clients ~requests `Bind in
+        Thread.join killer;
+        let sent = clients * requests in
+        Printf.printf
+          "cluster: chaos (killed %s of 4 mid-load): %d sent, %d ok, %d \
+           lost\n\
+           %!"
+          killed_name sent ok (sent - ok);
+        cluster_chaos_row :=
+          Some
+            { ch_workers = 4; ch_sent = sent; ch_ok = ok;
+              ch_killed = killed_name };
+        if errors > 0 || ok <> sent then begin
+          Printf.eprintf "cluster: chaos lost %d accepted request(s)\n%!"
+            (sent - ok);
+          exit 1
+        end)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable benchmark report (HLP_BENCH_JSON=path).  Metric
    floats are printed with %.17g so a warm-cache run is textually equal
    to a cold one iff its Sec. 6 metrics are bit-identical; wall-clock
@@ -1110,6 +1335,44 @@ let bench_json ~total_seconds path =
       sep := ",")
     (Lazy.force session_rows);
   add "\n  ],\n";
+  (* Cluster scaling (present only when HLP_CLUSTER=1 ran the
+     section).  req/s values are wall-clock derived, so HLP_STABLE
+     zeroes them like every other timing; the ok counts and the chaos
+     lost count are deterministic. *)
+  if !cluster_rows <> [] then begin
+    add "  \"cluster\": {\"rows\": [";
+    sep := "";
+    List.iter
+      (fun r ->
+        add
+          (Printf.sprintf
+             "%s\n    {\"workers\": %d, \"op\": \"%s\", \"clients\": %d, \
+              \"requests\": %d, \"ok\": %d, \"wall_s\": %s, \"req_per_s\": \
+              %s}"
+             !sep r.cl_workers r.cl_op r.cl_clients r.cl_total r.cl_ok
+             (jt r.cl_wall_s)
+             (jt
+                (if r.cl_wall_s > 0. then
+                   float_of_int r.cl_total /. r.cl_wall_s
+                 else 0.)));
+        sep := ",")
+      !cluster_rows;
+    add "\n  ]";
+    (let lo = cluster_rps "ping" 1 and hi = cluster_rps "ping" 4 in
+     add
+       (Printf.sprintf ", \"ping_scaling_1_to_4\": %s"
+          (jt (if lo > 0. then hi /. lo else 0.))));
+    (match !cluster_chaos_row with
+    | Some c ->
+        add
+          (Printf.sprintf
+             ", \"chaos\": {\"workers\": %d, \"sent\": %d, \"ok\": %d, \
+              \"lost\": %d, \"killed\": \"%s\"}"
+             c.ch_workers c.ch_sent c.ch_ok (c.ch_sent - c.ch_ok)
+             c.ch_killed)
+    | None -> ());
+    add "},\n"
+  end;
   (* Phase wall clock (elaborate / map / sim / power / bind, plus the
      per-design flow spans).  Call counts stay real in stable mode;
      only the seconds are zeroed. *)
@@ -1309,8 +1572,13 @@ let loadgen socket =
       (fun () ->
         for r = 0 to requests - 1 do
           let t0 = now () in
+          (* Bounded retry: every loadgen op is idempotent, so the run
+             survives a worker restart (or, pointed at a head, a
+             failover) instead of aborting on the first stale
+             connection. *)
           match
-            C.request c { P.id = J.Int ((c_idx * requests) + r); deadline_ms = None; op }
+            C.request_retry c
+              { P.id = J.Int ((c_idx * requests) + r); deadline_ms = None; op }
           with
           | Ok { P.payload = P.Result _; _ } ->
               latencies.((c_idx * requests) + r) <- now () -. t0;
@@ -1607,6 +1875,7 @@ let () =
   sim_engines ();
   static_estimator ();
   session_bench ();
+  cluster_section ();
   (* Bechamel numbers are wall-clock by nature; skip them entirely in
      byte-stable mode. *)
   if not stable then bechamel_section ();

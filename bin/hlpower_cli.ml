@@ -514,41 +514,237 @@ let max_frame_arg =
   Arg.(value & opt int Protocol.default_max_frame
        & info [ "max-frame" ] ~docv:"BYTES" ~doc)
 
-let run_serve socket tcp workers queue deadline max_frame sa_cache verbose =
+let metrics_port_default =
+  match Sys.getenv_opt "HLP_METRICS_PORT" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let metrics_port_arg =
+  let doc = "Serve a Prometheus-text /metrics endpoint on \
+             127.0.0.1:$(docv) (default: $(b,HLP_METRICS_PORT) if set)." in
+  Arg.(value & opt (some int) metrics_port_default
+       & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+
+(* --- cluster head options --- *)
+
+module Cluster_head = Hlp_cluster.Head
+module Forwarder = Hlp_cluster.Forwarder
+
+let head_arg =
+  let doc = "Run as a cluster head instead of a worker: fan requests \
+             out over the backend workers through a consistent-hash \
+             ring keyed (width, k, library fingerprint)." in
+  Arg.(value & flag & info [ "head" ] ~doc)
+
+let backends_arg =
+  let doc = "Comma-separated backend workers as $(b,name=addr), where \
+             addr is a Unix socket path or host:port (head mode)." in
+  Arg.(value & opt (some string) None
+       & info [ "backends" ] ~docv:"SPEC" ~doc)
+
+let spawn_workers_default =
+  match Sys.getenv_opt "HLP_CLUSTER_WORKERS" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let spawn_workers_arg =
+  let doc = "Head mode: spawn $(docv) local workers itself (sockets \
+             under a private temp dir), SIGTERM-drain them on exit \
+             (default: $(b,HLP_CLUSTER_WORKERS) if set)." in
+  Arg.(value & opt (some int) spawn_workers_default
+       & info [ "spawn-workers" ] ~docv:"N" ~doc)
+
+let ping_interval_arg =
+  let doc = "Head mode: health-check ping interval in milliseconds." in
+  Arg.(value & opt int Cluster_head.default_config.Cluster_head.ping_interval_ms
+       & info [ "ping-interval-ms" ] ~docv:"MS" ~doc)
+
+let parse_backends spec =
+  List.map
+    (fun part ->
+      match String.index_opt part '=' with
+      | Some i ->
+          ( String.sub part 0 i,
+            Forwarder.addr_of_string
+              (String.sub part (i + 1) (String.length part - i - 1)) )
+      | None -> failwith ("--backends entry has no name=: " ^ part))
+    (List.filter
+       (fun s -> s <> "")
+       (String.split_on_char ',' (String.trim spec)))
+
+(* Spawn [n] worker daemons under [dir]; wait for each socket to
+   accept.  Returns (name, addr) pairs plus the child pids.
+
+   HLP_METRICS_PORT is scrubbed from the children's environment — the
+   head already claimed it, and inheriting it would have every worker
+   race for the same TCP port.  When the head serves /metrics on port
+   P, worker [i] gets an explicit [--metrics-port (P + 1 + i)] so the
+   whole fleet stays scrapeable. *)
+let spawn_workers ~dir ~n ~workers ~queue ~sa_cache ~metrics_port =
+  let children = ref [] in
+  let child_env =
+    Array.of_list
+      (List.filter
+         (fun kv ->
+           not (String.length kv >= 17
+                && String.sub kv 0 17 = "HLP_METRICS_PORT="))
+         (Array.to_list (Unix.environment ())))
+  in
+  let backends =
+    List.init n (fun i ->
+        let name = Printf.sprintf "w%d" i in
+        let sock = Filename.concat dir (name ^ ".sock") in
+        let args =
+          [ Sys.executable_name; "serve"; "--socket"; sock;
+            "--queue"; string_of_int queue ]
+          @ (match workers with
+            | Some w -> [ "--workers"; string_of_int w ]
+            | None -> [])
+          @ (match metrics_port with
+            | Some p -> [ "--metrics-port"; string_of_int (p + 1 + i) ]
+            | None -> [])
+          @
+          match sa_cache with
+          | Some d -> [ "--sa-cache"; d ]
+          | None -> []
+        in
+        let pid =
+          Unix.create_process_env Sys.executable_name (Array.of_list args)
+            child_env Unix.stdin Unix.stdout Unix.stderr
+        in
+        children := pid :: !children;
+        (name, sock))
+  in
+  (* Wait (bounded) for every worker to accept. *)
+  List.iter
+    (fun (_, sock) ->
+      let deadline = Unix.gettimeofday () +. 30. in
+      let rec wait () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let ok =
+          try
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            true
+          with Unix.Unix_error _ -> false
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if ok then ()
+        else if Unix.gettimeofday () > deadline then
+          failwith ("worker did not come up: " ^ sock)
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      in
+      wait ())
+    backends;
+  ( List.map (fun (n, s) -> (n, Forwarder.Unix_path s)) backends,
+    List.rev !children )
+
+let run_head ~socket ~tcp ~backends ~spawn ~workers ~queue ~sa_cache
+    ~ping_interval ~metrics_port ~max_frame =
+  let tmpdir = ref None in
+  let backends, children =
+    match (backends, spawn) with
+    | Some spec, _ -> (parse_backends spec, [])
+    | None, Some n when n > 0 ->
+        let dir =
+          let d =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "hlp-cluster-%d" (Unix.getpid ()))
+          in
+          (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          d
+        in
+        tmpdir := Some dir;
+        spawn_workers ~dir ~n ~workers ~queue ~sa_cache ~metrics_port
+    | None, _ ->
+        failwith "--head needs --backends or --spawn-workers (or \
+                  HLP_CLUSTER_WORKERS)"
+  in
+  let config =
+    {
+      Cluster_head.default_config with
+      Cluster_head.socket_path = socket;
+      tcp_port = tcp;
+      backends;
+      ping_interval_ms = ping_interval;
+      metrics_port;
+      max_frame;
+    }
+  in
+  let head = Cluster_head.create ~config () in
+  Cluster_head.install_signal_handlers head;
+  Cluster_head.run head;
+  (* Head drained: now drain the workers we own (SIGTERM, then reap). *)
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    children;
+  List.iter
+    (fun pid ->
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    children;
+  (match !tmpdir with
+  | Some d -> (
+      try
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+          (Sys.readdir d);
+        Unix.rmdir d
+      with Sys_error _ | Unix.Unix_error _ -> ())
+  | None -> ());
+  0
+
+let run_serve socket tcp workers queue deadline max_frame sa_cache
+    metrics_port head backends spawn ping_interval verbose =
   setup_logs verbose;
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Info);
   try
-    let config =
-      {
-        Server.socket_path = socket;
-        tcp_port = tcp;
-        workers =
-          Option.value ~default:Server.default_config.Server.workers workers;
-        queue_capacity = queue;
-        default_deadline_ms = deadline;
-        max_frame;
-        sa_cache_dir = sa_cache;
-      }
-    in
-    let server = Server.create ~config () in
-    Server.install_signal_handlers server;
-    Server.run server;
-    0
-  with Unix.Unix_error (err, _, arg) ->
-    Format.eprintf "error: cannot start daemon on %s: %s@."
-      (if arg = "" then socket else arg)
-      (Unix.error_message err);
-    1
+    if head then
+      run_head ~socket ~tcp ~backends ~spawn ~workers ~queue ~sa_cache
+        ~ping_interval ~metrics_port ~max_frame
+    else begin
+      let config =
+        {
+          Server.socket_path = socket;
+          tcp_port = tcp;
+          workers =
+            Option.value ~default:Server.default_config.Server.workers workers;
+          queue_capacity = queue;
+          default_deadline_ms = deadline;
+          max_frame;
+          sa_cache_dir = sa_cache;
+          metrics_port;
+        }
+      in
+      let server = Server.create ~config () in
+      Server.install_signal_handlers server;
+      Server.run server;
+      0
+    end
+  with
+  | Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Unix.Unix_error (err, _, arg) ->
+      Format.eprintf "error: cannot start daemon on %s: %s@."
+        (if arg = "" then socket else arg)
+        (Unix.error_message err);
+      1
 
 let serve_cmd =
   let doc = "Run the binding-as-a-service daemon (hlpowerd): newline-\
              delimited JSON over a Unix socket, bounded queue, deadlines, \
-             graceful drain on SIGTERM" in
+             graceful drain on SIGTERM. With --head, run the cluster \
+             head fanning out over backend workers instead." in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ socket_arg $ tcp_arg $ workers_arg $ queue_arg
-      $ deadline_arg $ max_frame_arg $ sa_cache_arg $ verbose_arg)
+      $ deadline_arg $ max_frame_arg $ sa_cache_arg $ metrics_port_arg
+      $ head_arg $ backends_arg $ spawn_workers_arg $ ping_interval_arg
+      $ verbose_arg)
 
 (* --- client command --- *)
 
@@ -733,9 +929,13 @@ let run_client socket tcp op bench binder alpha width vectors port_assign
                         lint_binder = binder;
                         lint_width = width }
                 | "stats" -> Protocol.Stats
+                | "cluster_stats" -> Protocol.Cluster_stats
                 | other -> failwith ("unknown op: " ^ other)
               in
-              Client.request c
+              (* Every op built here is an idempotent query, so the
+                 client survives a daemon restart mid-conversation;
+                 the session demo above sticks to plain [request]. *)
+              Client.request_retry c
                 { Protocol.id = Sjson.Int 1; deadline_ms; op }
         in
         match reply with

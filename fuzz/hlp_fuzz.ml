@@ -487,7 +487,9 @@ let wire_phase () =
               | P.Parse_error | P.Unknown_op | P.Bad_request
               | P.Frame_too_large ->
                   check_diagnosed ~phase:"wire" ~frame diagnostics
-              | P.Overloaded | P.Deadline_exceeded | P.Draining -> ()))
+              | P.Overloaded | P.Deadline_exceeded | P.Draining
+              | P.Unavailable ->
+                  ()))
   in
   let ping_line =
     P.encode_request { P.id = Json.Int 0; deadline_ms = None; op = P.Ping 0 }

@@ -1,0 +1,143 @@
+module Protocol = Hlp_server.Protocol
+module Telemetry = Hlp_util.Telemetry
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" && not (String.contains host '/') ->
+          Tcp (host, p)
+      | _ -> Unix_path s)
+  | None -> Unix_path s
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+type conn = { fd : Unix.file_descr; reader : Protocol.reader }
+
+type t = {
+  mu : Mutex.t;
+  max_frame : int option;
+  idle : (string, conn list) Hashtbl.t;
+  max_idle : int;  (* per address *)
+}
+
+let create ?max_frame () =
+  { mu = Mutex.create (); max_frame; idle = Hashtbl.create 8; max_idle = 8 }
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let dial t addr =
+  let fd =
+    match addr with
+    | Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+    | Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+  in
+  { fd; reader = Protocol.reader_of_fd ?max_frame:t.max_frame fd }
+
+let pop_idle t key =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.idle key with
+    | Some (c :: rest) ->
+        Hashtbl.replace t.idle key rest;
+        Some c
+    | _ -> None
+  in
+  Mutex.unlock t.mu;
+  r
+
+let push_idle t key c =
+  Mutex.lock t.mu;
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.idle key) in
+  let keep = List.length cur < t.max_idle in
+  if keep then Hashtbl.replace t.idle key (c :: cur);
+  Mutex.unlock t.mu;
+  if not keep then close_conn c
+
+let set_timeout fd = function
+  | None -> ()
+  | Some s -> (
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with Unix.Unix_error _ -> ())
+
+(* One attempt on one concrete connection. *)
+let attempt ?timeout_s c frame =
+  set_timeout c.fd timeout_s;
+  match
+    Protocol.write_frame c.fd frame;
+    Protocol.read_frame c.reader
+  with
+  | `Frame line -> Ok line
+  | `Eof -> Error "eof before reply"
+  | `Too_large n -> Error (Printf.sprintf "oversized reply (%d bytes)" n)
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error msg -> Error msg
+
+let request_raw ?timeout_s t addr frame =
+  let key = addr_to_string addr in
+  let fresh_attempt () =
+    match dial t addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+    | c -> (
+        match attempt ?timeout_s c frame with
+        | Ok line ->
+            push_idle t key c;
+            Ok line
+        | Error _ as e ->
+            close_conn c;
+            e)
+  in
+  match pop_idle t key with
+  | None -> fresh_attempt ()
+  | Some c -> (
+      match attempt ?timeout_s c frame with
+      | Ok line ->
+          push_idle t key c;
+          Ok line
+      | Error _ ->
+          (* The pooled socket may just be stale (worker restarted
+             between requests); one fresh dial decides whether the
+             worker is actually gone. *)
+          close_conn c;
+          Telemetry.count "cluster.pool_stale" 1;
+          fresh_attempt ())
+
+let invalidate t addr =
+  let key = addr_to_string addr in
+  Mutex.lock t.mu;
+  let conns = Option.value ~default:[] (Hashtbl.find_opt t.idle key) in
+  Hashtbl.remove t.idle key;
+  Mutex.unlock t.mu;
+  List.iter close_conn conns
+
+let close_all t =
+  Mutex.lock t.mu;
+  let all = Hashtbl.fold (fun _ cs acc -> cs @ acc) t.idle [] in
+  Hashtbl.reset t.idle;
+  Mutex.unlock t.mu;
+  List.iter close_conn all

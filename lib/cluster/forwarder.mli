@@ -1,0 +1,40 @@
+(** Raw-frame forwarding from head to workers, over pooled
+    connections.
+
+    The head never re-encodes what it relays: a request frame is
+    forwarded byte-for-byte and the worker's reply line is returned
+    byte-for-byte, so a client talking through the head sees exactly
+    the bytes the worker produced (the single exception — session-id
+    rewriting — happens in {!Head}, which re-encodes deliberately).
+    Decoding for routing is the head's business, not this module's.
+
+    Connections are pooled per worker address: a request pops an idle
+    connection or dials a new one, and returns it on clean completion.
+    A request that fails on a {e pooled} connection retries once on a
+    fresh dial — the pooled socket may simply have been closed by an
+    idle worker — before reporting the worker unreachable. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+(** [addr_of_string s]: [host:port] (with a numeric port) parses as
+    TCP, anything else is a Unix-domain socket path. *)
+val addr_of_string : string -> addr
+
+val addr_to_string : addr -> string
+
+type t
+
+val create : ?max_frame:int -> unit -> t
+
+(** [request_raw t addr frame] sends one frame and blocks for one
+    reply line.  [timeout_s] bounds each socket operation (default
+    none); an elapsed timeout reports as an error, like any transport
+    failure.  Thread-safe. *)
+val request_raw :
+  ?timeout_s:float -> t -> addr -> string -> (string, string) result
+
+(** Drop every pooled connection to [addr] (a shard just declared
+    dead). *)
+val invalidate : t -> addr -> unit
+
+val close_all : t -> unit

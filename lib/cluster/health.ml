@@ -1,0 +1,108 @@
+module Clock = Hlp_util.Clock
+module Telemetry = Hlp_util.Telemetry
+
+type shard = {
+  name : string;
+  mutable is_alive : bool;
+  mutable failures : int;  (* consecutive *)
+  mutable next_due : float;  (* Clock.now timeline *)
+}
+
+type t = {
+  mu : Mutex.t;
+  interval_s : float;
+  fail_threshold : int;
+  ping : string -> bool;
+  shards : shard list;
+}
+
+let create ?(interval_ms = 500) ?(fail_threshold = 2) ~ping names =
+  {
+    mu = Mutex.create ();
+    interval_s = float_of_int (max 1 interval_ms) /. 1000.;
+    fail_threshold = max 1 fail_threshold;
+    ping;
+    shards =
+      List.map
+        (fun name ->
+          { name; is_alive = true; failures = 0; next_due = Clock.now () })
+        names;
+  }
+
+let find t name = List.find_opt (fun s -> s.name = name) t.shards
+
+let alive t name =
+  Mutex.lock t.mu;
+  let r = match find t name with Some s -> s.is_alive | None -> false in
+  Mutex.unlock t.mu;
+  r
+
+let alive_shards t =
+  Mutex.lock t.mu;
+  let r =
+    List.filter_map
+      (fun s -> if s.is_alive then Some s.name else None)
+      t.shards
+  in
+  Mutex.unlock t.mu;
+  r
+
+let record_locked t s ok =
+  if ok then begin
+    if not s.is_alive then begin
+      Telemetry.count "cluster.shard_revived" 1;
+      Logs.info (fun m -> m "cluster: shard %s back alive" s.name)
+    end;
+    s.is_alive <- true;
+    s.failures <- 0
+  end
+  else begin
+    s.failures <- s.failures + 1;
+    if s.is_alive && s.failures >= t.fail_threshold then begin
+      s.is_alive <- false;
+      Telemetry.count "cluster.shard_died" 1;
+      Logs.warn (fun m ->
+          m "cluster: shard %s marked dead after %d failure(s)" s.name
+            s.failures)
+    end
+  end
+
+let note t name ok =
+  Mutex.lock t.mu;
+  (match find t name with Some s -> record_locked t s ok | None -> ());
+  Mutex.unlock t.mu
+
+let note_failure t name = note t name false
+let note_success t name = note t name true
+
+let run_pings t due =
+  (* Ping outside the lock: a hung worker must not freeze liveness
+     queries from the forwarding path. *)
+  let results = List.map (fun s -> (s, t.ping s.name)) due in
+  Mutex.lock t.mu;
+  List.iter (fun (s, ok) -> record_locked t s ok) results;
+  Mutex.unlock t.mu
+
+let check_due t =
+  let now = Clock.now () in
+  Mutex.lock t.mu;
+  let due =
+    List.filter
+      (fun s ->
+        if s.next_due <= now then begin
+          s.next_due <- now +. t.interval_s;
+          true
+        end
+        else false)
+      t.shards
+  in
+  Mutex.unlock t.mu;
+  if due <> [] then run_pings t due
+
+let force_round t =
+  let now = Clock.now () in
+  Mutex.lock t.mu;
+  List.iter (fun s -> s.next_due <- now +. t.interval_s) t.shards;
+  let all = t.shards in
+  Mutex.unlock t.mu;
+  run_pings t all

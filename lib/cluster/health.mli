@@ -1,0 +1,43 @@
+(** Shard liveness tracking on the injectable {!Hlp_util.Clock}
+    timeline.
+
+    Each shard is pinged at most once per [interval_ms] of
+    [Clock.now] time; {!check_due} performs whatever pings have come
+    due and is meant to be driven from the head's health thread (or
+    directly from tests, with a fake clock making every interval
+    "elapse" instantly).  A shard is marked dead after [fail_threshold]
+    consecutive failures — from pings or from {!note_failure}, which
+    the forwarder calls when a live request hits a transport error, so
+    a crashed worker leaves the ring on the first lost request rather
+    than on the next ping tick.  Dead shards keep being pinged: one
+    successful ping brings a restarted worker straight back. *)
+
+type t
+
+(** [create ~ping names] — [ping name] must return within its own
+    timeout and say whether the shard answered.  Defaults:
+    [interval_ms = 500], [fail_threshold = 2]. *)
+val create :
+  ?interval_ms:int ->
+  ?fail_threshold:int ->
+  ping:(string -> bool) ->
+  string list ->
+  t
+
+val alive : t -> string -> bool
+val alive_shards : t -> string list
+
+(** Transport-error feedback from the forwarder (counts toward the
+    failure threshold immediately). *)
+val note_failure : t -> string -> unit
+
+(** A successful forward proves liveness and resets the failure
+    count — and revives a shard marked dead. *)
+val note_success : t -> string -> unit
+
+(** [check_due t] pings every shard whose interval has elapsed.
+    Pings run outside the tracker's lock (they block on the wire). *)
+val check_due : t -> unit
+
+(** [force_round t] pings every shard now, regardless of schedule. *)
+val force_round : t -> unit

@@ -1,0 +1,97 @@
+type t = {
+  vnodes : int;
+  names : string list;  (* insertion order, deduplicated *)
+  (* hash circle: sorted by point, unsigned *)
+  points : (int64 * string) array;
+}
+
+(* First 8 bytes of the MD5, big-endian.  MD5 is fine here: this is
+   placement, not security, and [Digest.string] is already linked. *)
+let hash64 s =
+  let d = Digest.string s in
+  let b = ref 0L in
+  for i = 0 to 7 do
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  !b
+
+let ucompare = Int64.unsigned_compare
+
+let build vnodes names =
+  let pts =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i ->
+            (hash64 (Printf.sprintf "%s#%d" name i), name)))
+      names
+  in
+  let arr = Array.of_list pts in
+  Array.sort
+    (fun (a, na) (b, nb) ->
+      match ucompare a b with 0 -> compare na nb | c -> c)
+    arr;
+  { vnodes; names; points = arr }
+
+let dedup names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let create ?(vnodes = 128) names = build (max 1 vnodes) (dedup names)
+let shards t = t.names
+let size t = List.length t.names
+
+let add t name =
+  if List.mem name t.names then t else build t.vnodes (t.names @ [ name ])
+
+let remove t name =
+  if List.mem name t.names then
+    build t.vnodes (List.filter (fun n -> n <> name) t.names)
+  else t
+
+let key ~width ~k ~fingerprint =
+  Printf.sprintf "w%d-k%d-%s" width k fingerprint
+
+(* Index of the first point at or after [h], wrapping to 0. *)
+let find_index t h =
+  let n = Array.length t.points in
+  if n = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref n in
+    (* invariant: points below !lo are < h, points at/above !hi are >= h *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let p, _ = t.points.(mid) in
+      if ucompare p h < 0 then lo := mid + 1 else hi := mid
+    done;
+    Some (if !lo = n then 0 else !lo)
+  end
+
+let owner t key =
+  match find_index t (hash64 key) with
+  | None -> None
+  | Some i -> Some (snd t.points.(i))
+
+let successors t key =
+  match find_index t (hash64 key) with
+  | None -> []
+  | Some start ->
+      let n = Array.length t.points in
+      let total = size t in
+      let out = ref [] and seen = Hashtbl.create 8 in
+      let i = ref 0 in
+      while Hashtbl.length seen < total && !i < n do
+        let _, name = t.points.((start + !i) mod n) in
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          out := name :: !out
+        end;
+        incr i
+      done;
+      List.rev !out

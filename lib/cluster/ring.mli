@@ -1,0 +1,45 @@
+(** Consistent-hash ring over named shards.
+
+    The cluster head routes every request by a key derived from
+    [(width, k, lib_fingerprint)] — the same triple that keys a
+    worker's {!Hlp_core.Sa_table} cache files — so all requests that
+    would warm the same SA table land on the same shard, and that
+    shard's table, disk cache, and session/memo state stay permanently
+    warm.
+
+    Classic construction: each shard contributes [vnodes] points on a
+    hash circle (MD5 of ["name#i"]); a key is owned by the shard whose
+    point follows the key's hash clockwise.  Balance over random keys
+    improves with [vnodes]; remapping when a shard joins or leaves is
+    limited to the arcs the changed shard owns — about [1/N] of the
+    keyspace, which is the property that keeps every {e other} shard's
+    warm state intact through membership churn.
+
+    Values are immutable; {!add}/{!remove} return new rings. *)
+
+type t
+
+(** [create ?vnodes names] builds a ring; duplicate names are kept
+    once.  Default [vnodes] is 128. *)
+val create : ?vnodes:int -> string list -> t
+
+(** Member shard names, in insertion order. *)
+val shards : t -> string list
+
+val size : t -> int
+val add : t -> string -> t
+val remove : t -> string -> t
+
+(** [key ~width ~k ~fingerprint] is the canonical routing key for a
+    request touching the [(width, k)] SA table under the current cell
+    library. *)
+val key : width:int -> k:int -> fingerprint:string -> string
+
+(** [owner t key] is the shard owning [key], or [None] on an empty
+    ring. *)
+val owner : t -> string -> string option
+
+(** [successors t key] is every shard, deduplicated, in ring order
+    starting from [key]'s owner — the failover order for idempotent
+    requests. *)
+val successors : t -> string -> string list

@@ -1,23 +1,49 @@
-type t = { fd : Unix.file_descr; reader : Protocol.reader }
+type addr = Addr_unix of string | Addr_tcp of string * int
 
-let of_fd ?max_frame fd = { fd; reader = Protocol.reader_of_fd ?max_frame fd }
+type t = {
+  mutable fd : Unix.file_descr;
+  mutable reader : Protocol.reader;
+  addr : addr option;  (* None for [of_fd]: no way to reconnect *)
+  max_frame : int option;
+}
 
-let connect ?max_frame path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-  of_fd ?max_frame fd
+let of_fd ?max_frame fd =
+  { fd; reader = Protocol.reader_of_fd ?max_frame fd; addr = None; max_frame }
+
+let connect_fd addr =
+  match addr with
+  | Addr_unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Addr_tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+
+let of_addr ?max_frame addr =
+  let fd = connect_fd addr in
+  {
+    fd;
+    reader = Protocol.reader_of_fd ?max_frame fd;
+    addr = Some addr;
+    max_frame;
+  }
+
+let connect ?max_frame path = of_addr ?max_frame (Addr_unix path)
 
 let connect_tcp ?max_frame ~host ~port () =
-  let addr =
-    try Unix.inet_addr_of_string host
-    with Failure _ ->
-      (Unix.gethostbyname host).Unix.h_addr_list.(0)
-  in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-  of_fd ?max_frame fd
+  of_addr ?max_frame (Addr_tcp (host, port))
 
 let send c req = Protocol.write_frame c.fd (Protocol.encode_request req)
 let send_raw c line = Protocol.write_frame c.fd line
@@ -33,3 +59,61 @@ let request c req =
   recv c
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let reconnect c =
+  match c.addr with
+  | None -> false
+  | Some addr -> (
+      close c;
+      match connect_fd addr with
+      | fd ->
+          c.fd <- fd;
+          c.reader <- Protocol.reader_of_fd ?max_frame:c.max_frame fd;
+          true
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _) ->
+          (* Nothing listening (yet): the caller's backoff loop decides
+             whether to try again. *)
+          false)
+
+(* The transport failures a daemon restart produces, in order of where
+   they strike: connect refused, send into a dead peer (EPIPE/reset),
+   EOF instead of a reply.  Anything else — protocol errors, oversized
+   frames — is not a restart symptom and propagates immediately. *)
+let transport_failed f =
+  match f () with
+  | Ok _ as ok -> `Done ok
+  | Error msg ->
+      if msg = "connection closed by the daemon" then `Transport msg
+      else `Done (Error msg)
+  | exception
+      Unix.Unix_error
+        (( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
+         | Unix.ENOTCONN ),
+         name,
+         _) ->
+      `Transport (Printf.sprintf "%s: %s" name "connection lost")
+
+let request_retry ?(attempts = 4) ?(backoff_ms = 50) c req =
+  let attempts = max 1 attempts in
+  let rec go n backoff last_err =
+    if n >= attempts then
+      Error
+        (Printf.sprintf "request failed after %d attempt(s): %s" attempts
+           last_err)
+    else begin
+      (if n > 0 then begin
+         Thread.delay (float_of_int backoff /. 1000.);
+         ignore (reconnect c)
+       end);
+      match transport_failed (fun () -> request c req) with
+      | `Done r -> r
+      | `Transport msg ->
+          if c.addr = None then
+            (* [of_fd] clients own a socket we cannot re-open. *)
+            Error msg
+          else go (n + 1) (min 2000 (backoff * 2)) msg
+    end
+  in
+  go 0 backoff_ms "unreachable"

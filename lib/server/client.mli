@@ -11,12 +11,37 @@ val connect : ?max_frame:int -> string -> t
 (** [connect_tcp ~host ~port ()] connects to a TCP daemon. *)
 val connect_tcp : ?max_frame:int -> host:string -> port:int -> unit -> t
 
+(** [of_fd fd] wraps an already-connected socket.  Such a client has no
+    address to reconnect to, so {!request_retry} degrades to plain
+    {!request}. *)
+val of_fd : ?max_frame:int -> Unix.file_descr -> t
+
 (** [request c req] sends [req] and blocks for one reply.  [Error] is a
     transport- or decode-level failure (connection closed, bad frame) —
     protocol-level errors come back as [Ok] replies with an [Error]
     payload.  Note replies are matched by arrival order: interleave
     {!send}/{!recv} yourself for pipelining. *)
 val request : t -> Protocol.request -> (Protocol.reply, string) result
+
+(** [request_retry c req] is {!request} plus bounded
+    retry-with-backoff across transport failures: [ECONNREFUSED] /
+    [EPIPE] / reset on send, or EOF before the reply arrives — the
+    symptoms of a daemon restart.  Between attempts the connection is
+    re-established from the address given at {!connect} time (clients
+    built with [of_fd] cannot reconnect and fail on the first transport
+    error).  Backoff doubles from [backoff_ms] (default 50 ms, capped
+    at 2 s) for up to [attempts] tries (default 4).
+
+    Only use this for idempotent requests: a retried frame may execute
+    twice when the failure struck after the daemon accepted it but
+    before the reply was written.  [bind]/[flow]/[explore]/[lint] are
+    pure queries and safe; [session_edit] is not. *)
+val request_retry :
+  ?attempts:int ->
+  ?backoff_ms:int ->
+  t ->
+  Protocol.request ->
+  (Protocol.reply, string) result
 
 val send : t -> Protocol.request -> unit
 

@@ -1,0 +1,123 @@
+module Telemetry = Hlp_util.Telemetry
+
+type t = {
+  lfd : Unix.file_descr;
+  bound_port : int;
+  th : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let read_request_line fd =
+  (* Read up to the first CRLF; drain (and ignore) headers until the
+     blank line so well-behaved clients don't see a reset.  Bounded, so
+     a hostile peer cannot hold the serving thread. *)
+  let buf = Bytes.create 1024 in
+  let line = Buffer.create 64 in
+  let total = ref 0 in
+  let stop = ref false in
+  (try
+     while (not !stop) && !total < 16384 do
+       let n = Unix.read fd buf 0 (Bytes.length buf) in
+       if n = 0 then stop := true
+       else begin
+         total := !total + n;
+         Buffer.add_subbytes line buf 0 n;
+         let s = Buffer.contents line in
+         (* headers end at the blank line *)
+         if
+           String.length s >= 4
+           && (String.length s > 0
+              && (String.sub s (String.length s - 4) 4 = "\r\n\r\n"
+                 || String.length s >= 2
+                    && String.sub s (String.length s - 2) 2 = "\n\n"))
+         then stop := true
+       end
+     done
+   with Unix.Unix_error _ -> ());
+  match String.index_opt (Buffer.contents line) '\n' with
+  | None -> Buffer.contents line
+  | Some i -> String.sub (Buffer.contents line) 0 i
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  try
+    while !off < n do
+      off := !off + Unix.write fd b !off (n - !off)
+    done
+  with Unix.Unix_error _ -> ()
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+let serve_one render fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let reqline = read_request_line fd in
+      match String.split_on_char ' ' (String.trim reqline) with
+      | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+          Telemetry.count "metrics.scrapes" 1;
+          let body =
+            try render ()
+            with e ->
+              Telemetry.count "metrics.render_errors" 1;
+              Printf.sprintf "# render failed: %s\n" (Printexc.to_string e)
+          in
+          respond fd ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8" body
+      | "GET" :: _ ->
+          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "only /metrics lives here\n"
+      | _ ->
+          respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+            "GET only\n")
+
+let start ~port render =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  (try Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen lfd 16;
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept lfd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error _ ->
+              if Atomic.get stopping then () else loop ()
+          | fd, _ ->
+              (* Serve inline: scrapes are tiny and rare (seconds
+                 apart), a thread per scrape buys nothing. *)
+              (try serve_one render fd with _ -> ());
+              if Atomic.get stopping then () else loop ()
+        in
+        loop ())
+      ()
+  in
+  { lfd; bound_port; th; stopping }
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Closing the listener makes the blocked accept fail, which the
+       loop reads as shutdown once [stopping] is set. *)
+    (try Unix.shutdown t.lfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    Thread.join t.th
+  end

@@ -1,0 +1,23 @@
+(** Minimal HTTP exposition endpoint for Prometheus scrapes.
+
+    One listener thread on a loopback TCP port, answering
+    [GET /metrics] with the body produced by the [render] callback at
+    scrape time (a fresh snapshot per scrape, never cached) and [404]
+    for any other path.  HTTP/1.0 semantics: one request per
+    connection, [Connection: close].  This is deliberately not a web
+    framework — the daemon's control surface stays the JSON protocol;
+    this port exists only so a stock Prometheus can scrape workers and
+    head without speaking it. *)
+
+type t
+
+(** [start ~port render] binds [127.0.0.1:port] and serves until
+    {!stop}.  @raise Unix.Unix_error if the port is taken. *)
+val start : port:int -> (unit -> string) -> t
+
+(** The actually-bound port (useful with [~port:0]). *)
+val port : t -> int
+
+(** [stop t] closes the listener and joins the serving thread.
+    Idempotent. *)
+val stop : t -> unit

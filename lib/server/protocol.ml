@@ -135,6 +135,7 @@ type op =
   | Session_edit of session_edit_params
   | Session_close of session_close_params
   | Stats
+  | Cluster_stats
 
 let op_name = function
   | Ping _ -> "ping"
@@ -146,6 +147,7 @@ let op_name = function
   | Session_edit _ -> "session_edit"
   | Session_close _ -> "session_close"
   | Stats -> "stats"
+  | Cluster_stats -> "cluster_stats"
 
 type request = { id : Json.t; deadline_ms : int option; op : op }
 
@@ -157,6 +159,7 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Draining
+  | Unavailable
   | Internal
 
 let error_code_to_string = function
@@ -167,6 +170,7 @@ let error_code_to_string = function
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
   | Draining -> "draining"
+  | Unavailable -> "unavailable"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -177,6 +181,7 @@ let error_code_of_string = function
   | "overloaded" -> Some Overloaded
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "draining" -> Some Draining
+  | "unavailable" -> Some Unavailable
   | "internal" -> Some Internal
   | _ -> None
 
@@ -355,7 +360,7 @@ let json_of_op op : (string * Json.t) list =
                ("binder", String p.lint_binder);
                ("width", Int p.lint_width);
              ])
-    | Stats -> None
+    | Stats | Cluster_stats -> None
   in
   ("op", Json.String (op_name op))
   :: (match params with None -> [] | Some p -> [ ("params", p) ])
@@ -1129,6 +1134,7 @@ let decode_request line =
         | Some (Json.String "session_close") ->
             Some (Session_close { sc_session = session_id () })
         | Some (Json.String "stats") -> Some Stats
+        | Some (Json.String "cluster_stats") -> Some Cluster_stats
         | Some (Json.String other) ->
             problems :=
               [ Diagnostic.error "S002" Design "unknown op %S" other ];

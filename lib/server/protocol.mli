@@ -238,6 +238,9 @@ type op =
   | Session_edit of session_edit_params
   | Session_close of session_close_params
   | Stats
+  | Cluster_stats
+      (** telemetry export for the metrics endpoint: a worker answers
+          for itself, a cluster head aggregates every shard's reply *)
 
 (** Wire name of an operation (["ping"], ["bind"], ...). *)
 val op_name : op -> string
@@ -256,6 +259,10 @@ type error_code =
   | Overloaded
   | Deadline_exceeded
   | Draining
+  | Unavailable
+      (** cluster head could not reach any live shard for the request's
+          key (or the shard owning a session died); retryable once the
+          ring heals *)
   | Internal
 
 val error_code_to_string : error_code -> string

@@ -809,7 +809,7 @@ let handle t ~checkpoint (op : Protocol.op) =
     | Protocol.Lint { lint_bench; _ } -> lint_bench
     | Protocol.Session_open p -> Some p.so_bench
     | Protocol.Session_edit _ | Protocol.Session_close _
-    | Protocol.Ping _ | Protocol.Stats ->
+    | Protocol.Ping _ | Protocol.Stats | Protocol.Cluster_stats ->
         None
   in
   match
@@ -822,7 +822,7 @@ let handle t ~checkpoint (op : Protocol.op) =
     | Protocol.Session_open p -> handle_session_open t ~checkpoint p
     | Protocol.Session_edit p -> handle_session_edit t ~checkpoint p
     | Protocol.Session_close p -> handle_session_close t p
-    | Protocol.Stats ->
+    | Protocol.Stats | Protocol.Cluster_stats ->
         Error
           [
             Diagnostic.error "S006" Design

@@ -84,13 +84,27 @@ let create ?workers ?(capacity = 64) () =
   t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t));
   t
 
+let stats_locked t =
+  {
+    workers = t.workers;
+    capacity = t.capacity;
+    queued = Queue.length t.queue;
+    running = t.running;
+    accepted = t.accepted;
+    completed = t.completed;
+    rejected = t.rejected;
+  }
+
 let submit t job =
   Mutex.lock t.mu;
   let verdict =
     if t.draining then `Draining
     else if Queue.length t.queue >= t.capacity then (
       t.rejected <- t.rejected + 1;
-      `Overloaded)
+      (* Snapshot under the same lock acquisition that rejected the
+         job: a stats read taken later could show a drained queue next
+         to an [overloaded] verdict — a torn pair. *)
+      `Overloaded (stats_locked t))
     else (
       Queue.push (Clock.monotonic (), job) t.queue;
       t.accepted <- t.accepted + 1;
@@ -102,17 +116,7 @@ let submit t job =
 
 let stats t =
   Mutex.lock t.mu;
-  let s =
-    {
-      workers = t.workers;
-      capacity = t.capacity;
-      queued = Queue.length t.queue;
-      running = t.running;
-      accepted = t.accepted;
-      completed = t.completed;
-      rejected = t.rejected;
-    }
-  in
+  let s = stats_locked t in
   Mutex.unlock t.mu;
   s
 

@@ -34,8 +34,14 @@ type stats = {
     [capacity = 64]; both are clamped to [>= 1]. *)
 val create : ?workers:int -> ?capacity:int -> unit -> t
 
-(** [submit t job] never blocks. *)
-val submit : t -> (unit -> unit) -> [ `Accepted | `Overloaded | `Draining ]
+(** [submit t job] never blocks.  An [`Overloaded] verdict carries a
+    stats snapshot taken under the same lock acquisition that rejected
+    the job, so the reported [queued]/[running] pair is guaranteed
+    consistent with the rejection (the queue really was full at those
+    numbers) — reading {!stats} after the fact could observe a queue
+    that has since drained. *)
+val submit :
+  t -> (unit -> unit) -> [ `Accepted | `Overloaded of stats | `Draining ]
 
 val stats : t -> stats
 

@@ -9,6 +9,7 @@ type config = {
   default_deadline_ms : int option;
   max_frame : int;
   sa_cache_dir : string option;
+  metrics_port : int option;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     default_deadline_ms = None;
     max_frame = Protocol.default_max_frame;
     sa_cache_dir = None;
+    metrics_port = None;
   }
 
 (* Raised by the deadline checkpoint between pipeline phases. *)
@@ -55,6 +57,7 @@ type t = {
   started_at : float;
   conn_mu : Mutex.t;
   mutable conns : conn_entry list;
+  mutable metrics : Metrics.t option;
 }
 
 let config t = t.cfg
@@ -115,6 +118,7 @@ let create ?(config = default_config) () =
     started_at = Clock.monotonic ();
     conn_mu = Mutex.create ();
     conns = [];
+    metrics = None;
   }
 
 let shutdown t =
@@ -153,6 +157,35 @@ let stats_json t : Json.t =
           (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters ()))
       );
     ]
+
+(* The /metrics exposition: every telemetry counter as a Prometheus
+   counter, plus point-in-time gauges the counters cannot carry (queue
+   depth, running, uptime).  Rendered fresh at scrape time. *)
+let metrics_body t () =
+  let module Prom = Hlp_util.Prometheus in
+  let s = Scheduler.stats t.scheduler in
+  Prom.render
+    (Prom.gauge ~help:"Seconds since the daemon started." "hlp_uptime_seconds"
+       (Clock.monotonic () -. t.started_at)
+    :: Prom.gauge ~help:"1 while draining, 0 while serving." "hlp_draining"
+         (if Atomic.get t.stop then 1. else 0.)
+    :: Prom.gauge ~help:"Worker domains in the scheduler pool."
+         "hlp_scheduler_workers"
+         (float_of_int s.Scheduler.workers)
+    :: Prom.gauge ~help:"Bounded queue capacity." "hlp_scheduler_capacity"
+         (float_of_int s.Scheduler.capacity)
+    :: Prom.gauge ~help:"Jobs waiting in the queue right now."
+         "hlp_scheduler_queued"
+         (float_of_int s.Scheduler.queued)
+    :: Prom.gauge ~help:"Jobs executing right now." "hlp_scheduler_running"
+         (float_of_int s.Scheduler.running)
+    :: Prom.counter ~help:"Jobs ever admitted." "hlp_scheduler_accepted"
+         (float_of_int s.Scheduler.accepted)
+    :: Prom.counter ~help:"Jobs finished." "hlp_scheduler_completed"
+         (float_of_int s.Scheduler.completed)
+    :: Prom.counter ~help:"Overloaded rejections." "hlp_scheduler_rejected"
+         (float_of_int s.Scheduler.rejected)
+    :: Prom.of_counters (Telemetry.counters ()))
 
 (* --- per-connection handling --- *)
 
@@ -253,6 +286,26 @@ let dispatch t conn (req : Protocol.request) =
                 elapsed_ms = 0.;
               };
         }
+  | Protocol.Cluster_stats ->
+      (* Same inline treatment; a standalone worker answers for itself,
+         a cluster head intercepts this op and aggregates shards. *)
+      send conn
+        {
+          Protocol.reply_id = req.Protocol.id;
+          payload =
+            Protocol.Result
+              {
+                op = "cluster_stats";
+                result =
+                  Json.Obj
+                    [
+                      ("role", Json.String "worker");
+                      ("stats", stats_json t);
+                    ];
+                telemetry = [];
+                elapsed_ms = 0.;
+              };
+        }
   | _ -> (
       let deadline =
         match
@@ -271,14 +324,13 @@ let dispatch t conn (req : Protocol.request) =
       in
       match Scheduler.submit t.scheduler job with
       | `Accepted -> ()
-      | `Overloaded ->
+      | `Overloaded s ->
           conn_release conn;
           Telemetry.count "server.requests_overloaded" 1;
-          (* Report the actual load, not the configured capacity: a
-             client deciding how long to back off needs to know how
-             deep the line is, and "64 waiting" when the queue holds 3
-             told it the opposite of the truth. *)
-          let s = Scheduler.stats t.scheduler in
+          (* Report the load observed by the rejection itself (the
+             snapshot rides on the verdict): re-reading stats here
+             could show a queue that has since drained next to an
+             "overloaded" verdict — a torn pair. *)
           send conn
             (Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
                "queue full (%d queued, %d running, capacity %d); retry \
@@ -386,6 +438,13 @@ let run t =
         | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
         | None -> "")
         t.cfg.workers t.cfg.queue_capacity);
+  (match t.cfg.metrics_port with
+  | None -> ()
+  | Some port ->
+      let m = Metrics.start ~port (metrics_body t) in
+      t.metrics <- Some m;
+      Logs.info (fun l ->
+          l "hlpowerd: /metrics on 127.0.0.1:%d" (Metrics.port m)));
   accept_loop t;
   Logs.info (fun m -> m "hlpowerd: draining");
   (* 1. Stop accepting new connections (new requests on existing
@@ -422,6 +481,11 @@ let run t =
   let dropped = Router.drain_sessions t.router in
   if dropped > 0 then
     Logs.info (fun m -> m "drain: closed %d open session(s)" dropped);
+  (match t.metrics with
+  | Some m ->
+      Metrics.stop m;
+      t.metrics <- None
+  | None -> ());
   Router.persist t.router;
   Telemetry.write_if_requested ();
   (try

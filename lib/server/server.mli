@@ -31,6 +31,8 @@ type config = {
   default_deadline_ms : int option;  (** for requests with no deadline *)
   max_frame : int;  (** per-frame byte cap *)
   sa_cache_dir : string option;  (** overrides [HLP_SA_CACHE] *)
+  metrics_port : int option;
+      (** serve Prometheus text on [127.0.0.1:port/metrics] *)
 }
 
 (** [/tmp/hlpowerd.sock], no TCP, [Hlp_util.Pool.jobs ()] workers,

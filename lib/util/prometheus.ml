@@ -1,0 +1,123 @@
+type kind = Counter | Gauge
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_kind : kind;
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+let sanitize s =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let b = Buffer.create (String.length s + 1) in
+  String.iteri
+    (fun i c ->
+      if i = 0 && c >= '0' && c <= '9' then Buffer.add_char b '_';
+      Buffer.add_char b (if ok c then c else '_'))
+    s;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let ensure_total name =
+  let suffix = "_total" in
+  let n = String.length name and m = String.length suffix in
+  if n >= m && String.sub name (n - m) m = suffix then name else name ^ suffix
+
+let counter ?(labels = []) ~help name v =
+  {
+    m_name = ensure_total (sanitize name);
+    m_help = help;
+    m_kind = Counter;
+    m_labels = labels;
+    m_value = v;
+  }
+
+let gauge ?(labels = []) ~help name v =
+  {
+    m_name = sanitize name;
+    m_help = help;
+    m_kind = Gauge;
+    m_labels = labels;
+    m_value = v;
+  }
+
+let of_counters ?(prefix = "hlp_") snapshot =
+  List.map
+    (fun (name, v) ->
+      counter ~help:(Printf.sprintf "Telemetry counter %s." name)
+        (prefix ^ sanitize name)
+        (float_of_int v))
+    snapshot
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let format_value v =
+  match Float.classify_float v with
+  | FP_nan -> "NaN"
+  | FP_infinite -> if v > 0. then "+Inf" else "-Inf"
+  | _ ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.17g" v
+
+let render metrics =
+  let b = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  (* Group samples by name so HELP/TYPE headers appear once, with all
+     label-sets of a metric contiguous as the format requires. *)
+  let order = ref [] in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      (match Hashtbl.find_opt groups m.m_name with
+      | None ->
+          order := m.m_name :: !order;
+          Hashtbl.add groups m.m_name [ m ]
+      | Some ms -> Hashtbl.replace groups m.m_name (m :: ms)))
+    metrics;
+  List.iter
+    (fun name ->
+      let ms = List.rev (Hashtbl.find groups name) in
+      List.iteri
+        (fun i m ->
+          if i = 0 && not (Hashtbl.mem seen_header name) then begin
+            Hashtbl.add seen_header name ();
+            Buffer.add_string b
+              (Printf.sprintf "# HELP %s %s\n" name m.m_help);
+            Buffer.add_string b
+              (Printf.sprintf "# TYPE %s %s\n" name
+                 (match m.m_kind with Counter -> "counter" | Gauge -> "gauge"))
+          end;
+          let labels =
+            match m.m_labels with
+            | [] -> ""
+            | ls ->
+                "{"
+                ^ String.concat ","
+                    (List.map
+                       (fun (k, v) ->
+                         Printf.sprintf "%s=\"%s\"" (sanitize k)
+                           (escape_label_value v))
+                       ls)
+                ^ "}"
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" name labels (format_value m.m_value)))
+        ms)
+    (List.rev !order);
+  Buffer.contents b

@@ -1,0 +1,49 @@
+(** Prometheus text-exposition rendering for the telemetry snapshot.
+
+    The serving daemon (and the cluster head) expose an HTTP [/metrics]
+    endpoint in the Prometheus text format, version 0.0.4 — the same
+    shape as the EKG-style metrics endpoint of the long-lived-node
+    exemplars: one [# HELP] / [# TYPE] header per metric name followed
+    by one sample line per label set.
+
+    This module is pure rendering: it knows nothing about HTTP or about
+    where the numbers come from.  {!of_counters} lifts the
+    {!Telemetry.counters} snapshot wholesale (every counter becomes
+    [hlp_<name>_total]); gauges (queue depth, open sessions, shard
+    health) are built individually with {!gauge}. *)
+
+type kind = Counter | Gauge
+
+type metric = {
+  m_name : string;  (** full exposition name, already sanitized *)
+  m_help : string;
+  m_kind : kind;
+  m_labels : (string * string) list;  (** e.g. [("shard", "w0")] *)
+  m_value : float;
+}
+
+(** [sanitize s] maps [s] onto the Prometheus name alphabet
+    [[a-zA-Z0-9_:]]: every other byte (the telemetry namespace dots
+    included) becomes ['_'], and a leading digit is prefixed with
+    ['_']. *)
+val sanitize : string -> string
+
+(** [counter ?labels ~help name v] — [name] is sanitized; the
+    conventional [_total] suffix is appended when missing. *)
+val counter :
+  ?labels:(string * string) list -> help:string -> string -> float -> metric
+
+val gauge :
+  ?labels:(string * string) list -> help:string -> string -> float -> metric
+
+(** [of_counters ?prefix snapshot] renders every telemetry counter as a
+    Prometheus counter named [<prefix><sanitized name>_total]
+    (default prefix ["hlp_"]). *)
+val of_counters : ?prefix:string -> (string * int) list -> metric list
+
+(** [render metrics] is the full exposition body.  Metrics sharing a
+    name are grouped under one [# HELP]/[# TYPE] header (first help
+    string wins); label values are escaped per the format spec
+    (backslash, double-quote, and newline).  Non-finite values render
+    as [NaN] / [+Inf] / [-Inf].  The body ends with a newline. *)
+val render : metric list -> string

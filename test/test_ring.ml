@@ -1,0 +1,141 @@
+(* Consistent-hash ring properties: the two that make it a consistent
+   hash and not just a hash — balance (no shard owns a wildly outsized
+   share of random keys) and minimal remapping (membership change
+   moves only the arcs touching the changed shard; every other shard's
+   warm SA-table state survives).  The remapping property is exact,
+   not statistical: a key whose owner changed after [add] must map to
+   the added shard, and after [remove] must have mapped to the removed
+   one. *)
+
+module Ring = Hlp_cluster.Ring
+
+let check = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+(* Deterministic pseudo-random keys: the properties quantify over key
+   sets, qcheck supplies the seed. *)
+let keys_of_seed seed n =
+  List.init n (fun i -> Printf.sprintf "key-%d-%d" seed i)
+
+let shard_names n = List.init n (fun i -> Printf.sprintf "shard%d" i)
+
+let loads ring keys =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun k ->
+      match Ring.owner ring k with
+      | Some s ->
+          Hashtbl.replace tbl s
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s))
+      | None -> Alcotest.fail "owner on non-empty ring")
+    keys;
+  tbl
+
+let prop_balance =
+  QCheck.Test.make ~name:"load ratio over random keys is bounded" ~count:30
+    QCheck.(pair (int_range 2 8) (int_range 0 1_000_000))
+    (fun (nshards, seed) ->
+      let names = shard_names nshards in
+      let ring = Ring.create names in
+      let keys = keys_of_seed seed 2000 in
+      let tbl = loads ring keys in
+      (* Every shard owns something, and no shard owns more than 3x its
+         fair share (128 vnodes keeps the spread far tighter; 3x is
+         the alarm threshold, not the expectation). *)
+      List.for_all
+        (fun name ->
+          let n = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+          n > 0 && float_of_int n < 3.0 *. (2000.0 /. float_of_int nshards))
+        names)
+
+let prop_remap_add =
+  QCheck.Test.make ~name:"adding a shard only moves keys onto it" ~count:30
+    QCheck.(pair (int_range 2 8) (int_range 0 1_000_000))
+    (fun (nshards, seed) ->
+      let names = shard_names nshards in
+      let before = Ring.create names in
+      let after = Ring.add before "newcomer" in
+      let keys = keys_of_seed seed 2000 in
+      let moved = ref 0 in
+      let ok =
+        List.for_all
+          (fun k ->
+            let o1 = Ring.owner before k and o2 = Ring.owner after k in
+            if o1 = o2 then true
+            else begin
+              incr moved;
+              o2 = Some "newcomer"
+            end)
+          keys
+      in
+      (* ~1/(N+1) of keys move; alarm at 2.5x that. *)
+      let expected = 2000.0 /. float_of_int (nshards + 1) in
+      ok && float_of_int !moved < 2.5 *. expected && !moved > 0)
+
+let prop_remap_remove =
+  QCheck.Test.make ~name:"removing a shard only moves its own keys"
+    ~count:30
+    QCheck.(pair (int_range 3 8) (int_range 0 1_000_000))
+    (fun (nshards, seed) ->
+      let names = shard_names nshards in
+      let before = Ring.create names in
+      let after = Ring.remove before "shard0" in
+      let keys = keys_of_seed seed 1000 in
+      List.for_all
+        (fun k ->
+          let o1 = Ring.owner before k and o2 = Ring.owner after k in
+          (* unchanged, unless shard0 owned it — then it must have
+             moved (shard0 is gone) *)
+          if o1 = Some "shard0" then o2 <> Some "shard0"
+          else o1 = o2)
+        keys)
+
+let prop_successors =
+  QCheck.Test.make ~name:"successors: distinct, complete, owner-first"
+    ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 0 1_000_000))
+    (fun (nshards, seed) ->
+      let ring = Ring.create (shard_names nshards) in
+      let key = Printf.sprintf "probe-%d" seed in
+      let succ = Ring.successors ring key in
+      List.length succ = nshards
+      && List.sort_uniq compare succ = List.sort compare succ
+      && Some (List.hd succ) = Ring.owner ring key)
+
+let test_determinism () =
+  let r1 = Ring.create [ "a"; "b"; "c" ] in
+  let r2 = Ring.create [ "a"; "b"; "c" ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        ("owner of " ^ k) (Ring.owner r1 k) (Ring.owner r2 k))
+    (keys_of_seed 7 100);
+  (* and insertion order does not matter for ownership *)
+  let r3 = Ring.create [ "c"; "a"; "b" ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        ("order-independent owner of " ^ k) (Ring.owner r1 k)
+        (Ring.owner r3 k))
+    (keys_of_seed 8 100)
+
+let test_edges () =
+  let empty = Ring.create [] in
+  check "empty ring owns nothing" true (Ring.owner empty "x" = None);
+  check_i "empty successors" 0 (List.length (Ring.successors empty "x"));
+  let one = Ring.create [ "only" ] in
+  check "singleton owns all" true (Ring.owner one "anything" = Some "only");
+  let dup = Ring.create [ "a"; "a"; "b" ] in
+  check_i "duplicates collapse" 2 (Ring.size dup);
+  check "remove unknown is id" true (Ring.remove one "ghost" == one);
+  check "add existing is id" true (Ring.add one "only" == one);
+  let k = Ring.key ~width:8 ~k:4 ~fingerprint:"abc" in
+  Alcotest.(check string) "key shape" "w8-k4-abc" k
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_balance; prop_remap_add; prop_remap_remove; prop_successors ]
+  @ [
+      Alcotest.test_case "ownership is deterministic" `Quick test_determinism;
+      Alcotest.test_case "edge cases" `Quick test_edges;
+    ]

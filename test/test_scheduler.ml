@@ -10,7 +10,7 @@ let check_i = Alcotest.(check int)
 let submit_ok s job =
   match Scheduler.submit s job with
   | `Accepted -> ()
-  | `Overloaded -> Alcotest.fail "submit overloaded unexpectedly"
+  | `Overloaded _ -> Alcotest.fail "submit overloaded unexpectedly"
   | `Draining -> Alcotest.fail "submit draining unexpectedly"
 
 let test_drain_idempotent () =
@@ -54,6 +54,31 @@ let test_drain_concurrent () =
   check "submission is closed" true
     (Scheduler.submit s (fun () -> ()) = `Draining)
 
+let test_overloaded_snapshot () =
+  (* The stats riding on an [`Overloaded] verdict must be the ones the
+     rejection saw: a full queue.  A post-hoc [stats] call could race
+     the workers and report a drained queue next to the rejection. *)
+  let s = Scheduler.create ~workers:1 ~capacity:2 () in
+  let release = Atomic.make false in
+  let wait_release () =
+    while not (Atomic.get release) do
+      Thread.delay 0.002
+    done
+  in
+  submit_ok s wait_release;
+  (* Give the single worker time to pick the blocker up, then fill the
+     queue behind it. *)
+  Thread.delay 0.05;
+  submit_ok s wait_release;
+  submit_ok s wait_release;
+  (match Scheduler.submit s (fun () -> ()) with
+  | `Overloaded st ->
+      check_i "snapshot shows the full queue" 2 st.Scheduler.queued;
+      check_i "snapshot counts this rejection" 1 st.Scheduler.rejected
+  | `Accepted | `Draining -> Alcotest.fail "expected overloaded");
+  Atomic.set release true;
+  Scheduler.drain s
+
 let test_job_error_contained () =
   let s = Scheduler.create ~workers:1 ~capacity:4 () in
   let finished = Atomic.make 0 in
@@ -70,4 +95,6 @@ let suite =
     Alcotest.test_case "concurrent drains are safe" `Quick
       test_drain_concurrent;
     Alcotest.test_case "job errors contained" `Quick test_job_error_contained;
+    Alcotest.test_case "overloaded carries a consistent snapshot" `Quick
+      test_overloaded_snapshot;
   ]
