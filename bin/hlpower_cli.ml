@@ -674,26 +674,33 @@ let run_head ~socket ~tcp ~backends ~spawn ~workers ~queue ~sa_cache
       max_frame;
     }
   in
-  let head = Cluster_head.create ~config () in
-  Cluster_head.install_signal_handlers head;
-  Cluster_head.run head;
-  (* Head drained: now drain the workers we own (SIGTERM, then reap). *)
-  List.iter
-    (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-    children;
-  List.iter
-    (fun pid ->
-      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-    children;
-  (match !tmpdir with
-  | Some d -> (
-      try
-        Array.iter
-          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
-          (Sys.readdir d);
-        Unix.rmdir d
-      with Sys_error _ | Unix.Unix_error _ -> ())
-  | None -> ());
+  (* Workers are already spawned, so from here on every exit path —
+     including create/run raising (say, head socket EADDRINUSE) — must
+     drain them (SIGTERM, then reap) and remove the temp socket dir. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        children;
+      List.iter
+        (fun pid ->
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        children;
+      match !tmpdir with
+      | Some d -> (
+          try
+            Array.iter
+              (fun f ->
+                try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+              (Sys.readdir d);
+            Unix.rmdir d
+          with Sys_error _ | Unix.Unix_error _ -> ())
+      | None -> ())
+    (fun () ->
+      let head = Cluster_head.create ~config () in
+      Cluster_head.install_signal_handlers head;
+      Cluster_head.run head);
   0
 
 let run_serve socket tcp workers queue deadline max_frame sa_cache

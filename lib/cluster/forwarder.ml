@@ -76,13 +76,15 @@ let push_idle t key c =
   Mutex.unlock t.mu;
   if not keep then close_conn c
 
-let set_timeout fd = function
-  | None -> ()
-  | Some s -> (
-      try
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
-        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
-      with Unix.Unix_error _ -> ())
+let set_timeout fd t =
+  (* Pooled sockets keep their options between requests, so "no
+     timeout" must be set explicitly (0. = blocking): a connection last
+     used by a 2 s health ping would otherwise time out a long bind. *)
+  let s = Option.value ~default:0. t in
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+  with Unix.Unix_error _ -> ()
 
 (* One attempt on one concrete connection. *)
 let attempt ?timeout_s c frame =
@@ -97,7 +99,7 @@ let attempt ?timeout_s c frame =
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | exception Sys_error msg -> Error msg
 
-let request_raw ?timeout_s t addr frame =
+let request_raw ?timeout_s ?(retry_stale = true) t addr frame =
   let key = addr_to_string addr in
   let fresh_attempt () =
     match dial t addr with
@@ -112,20 +114,27 @@ let request_raw ?timeout_s t addr frame =
             close_conn c;
             e)
   in
-  match pop_idle t key with
-  | None -> fresh_attempt ()
-  | Some c -> (
-      match attempt ?timeout_s c frame with
-      | Ok line ->
-          push_idle t key c;
-          Ok line
-      | Error _ ->
-          (* The pooled socket may just be stale (worker restarted
-             between requests); one fresh dial decides whether the
-             worker is actually gone. *)
-          close_conn c;
-          Telemetry.count "cluster.pool_stale" 1;
-          fresh_attempt ())
+  if not retry_stale then
+    (* Non-idempotent frames ride a fresh dial: a pooled socket that
+       dies mid-request cannot be told apart from a worker that already
+       executed the frame, and re-sending would replay it.  One dial,
+       one send — any failure goes straight back to the caller. *)
+    fresh_attempt ()
+  else
+    match pop_idle t key with
+    | None -> fresh_attempt ()
+    | Some c -> (
+        match attempt ?timeout_s c frame with
+        | Ok line ->
+            push_idle t key c;
+            Ok line
+        | Error _ ->
+            (* The pooled socket may just be stale (worker restarted
+               between requests); one fresh dial decides whether the
+               worker is actually gone. *)
+            close_conn c;
+            Telemetry.count "cluster.pool_stale" 1;
+            fresh_attempt ())
 
 let invalidate t addr =
   let key = addr_to_string addr in

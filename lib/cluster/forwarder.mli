@@ -29,9 +29,21 @@ val create : ?max_frame:int -> unit -> t
 (** [request_raw t addr frame] sends one frame and blocks for one
     reply line.  [timeout_s] bounds each socket operation (default
     none); an elapsed timeout reports as an error, like any transport
-    failure.  Thread-safe. *)
+    failure.  Thread-safe.
+
+    With [retry_stale:false] the idle pool is bypassed and the frame is
+    sent on a single fresh dial, never re-sent: use it for
+    non-idempotent frames (session ops), where a failed pooled attempt
+    cannot be distinguished from a worker that already executed the
+    frame.  The default retries once on a fresh dial after a pooled
+    connection fails, as described above. *)
 val request_raw :
-  ?timeout_s:float -> t -> addr -> string -> (string, string) result
+  ?timeout_s:float ->
+  ?retry_stale:bool ->
+  t ->
+  addr ->
+  string ->
+  (string, string) result
 
 (** Drop every pooled connection to [addr] (a shard just declared
     dead). *)

@@ -476,7 +476,7 @@ let handle_request t writer ~raw (req : P.request) =
                 count_shard t shard;
                 match
                   Forwarder.request_raw ?timeout_s:t.cfg.forward_timeout_s
-                    t.fwd addr frame
+                    ~retry_stale:false t.fwd addr frame
                 with
                 | Ok line ->
                     Health.note_success t.health shard;
@@ -509,8 +509,8 @@ let handle_request t writer ~raw (req : P.request) =
       | shard :: _ -> (
           count_shard t shard;
           match
-            Forwarder.request_raw ?timeout_s:t.cfg.forward_timeout_s t.fwd
-              (addr_of t shard) raw
+            Forwarder.request_raw ?timeout_s:t.cfg.forward_timeout_s
+              ~retry_stale:false t.fwd (addr_of t shard) raw
           with
           | Ok line ->
               Health.note_success t.health shard;

@@ -3,12 +3,23 @@ type addr = Addr_unix of string | Addr_tcp of string * int
 type t = {
   mutable fd : Unix.file_descr;
   mutable reader : Protocol.reader;
+  mutable dead : bool;
+      (* [fd] has been closed and not replaced: the stored descriptor
+         number may already belong to another thread's socket, so it
+         must not be read, written, or closed again until a reconnect
+         installs a fresh one. *)
   addr : addr option;  (* None for [of_fd]: no way to reconnect *)
   max_frame : int option;
 }
 
 let of_fd ?max_frame fd =
-  { fd; reader = Protocol.reader_of_fd ?max_frame fd; addr = None; max_frame }
+  {
+    fd;
+    reader = Protocol.reader_of_fd ?max_frame fd;
+    dead = false;
+    addr = None;
+    max_frame;
+  }
 
 let connect_fd addr =
   match addr with
@@ -36,6 +47,7 @@ let of_addr ?max_frame addr =
   {
     fd;
     reader = Protocol.reader_of_fd ?max_frame fd;
+    dead = false;
     addr = Some addr;
     max_frame;
   }
@@ -58,7 +70,11 @@ let request c req =
   send c req;
   recv c
 
-let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+let close c =
+  if not c.dead then begin
+    c.dead <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
 
 let reconnect c =
   match c.addr with
@@ -69,12 +85,13 @@ let reconnect c =
       | fd ->
           c.fd <- fd;
           c.reader <- Protocol.reader_of_fd ?max_frame:c.max_frame fd;
+          c.dead <- false;
           true
       | exception
           Unix.Unix_error
             ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _) ->
-          (* Nothing listening (yet): the caller's backoff loop decides
-             whether to try again. *)
+          (* Nothing listening (yet): [c] stays dead and the caller's
+             backoff loop decides whether to try again. *)
           false)
 
 (* The transport failures a daemon restart produces, in order of where
@@ -90,9 +107,11 @@ let transport_failed f =
   | exception
       Unix.Unix_error
         (( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
-         | Unix.ENOTCONN ),
+         | Unix.ENOTCONN | Unix.EBADF ),
          name,
          _) ->
+      (* EBADF is not a restart symptom per se, but a socket closed out
+         from under us deserves a reconnect, not a crash. *)
       `Transport (Printf.sprintf "%s: %s" name "connection lost")
 
 let request_retry ?(attempts = 4) ?(backoff_ms = 50) c req =
@@ -107,13 +126,22 @@ let request_retry ?(attempts = 4) ?(backoff_ms = 50) c req =
          Thread.delay (float_of_int backoff /. 1000.);
          ignore (reconnect c)
        end);
-      match transport_failed (fun () -> request c req) with
-      | `Done r -> r
-      | `Transport msg ->
-          if c.addr = None then
-            (* [of_fd] clients own a socket we cannot re-open. *)
-            Error msg
-          else go (n + 1) (min 2000 (backoff * 2)) msg
+      if c.dead then
+        (* The last reconnect failed (daemon still down): the stored fd
+           is stale, so don't touch it — just keep backing off. *)
+        if c.addr = None then Error "connection closed"
+        else
+          go (n + 1)
+            (min 2000 (backoff * 2))
+            "reconnect failed: nothing listening at the daemon address"
+      else
+        match transport_failed (fun () -> request c req) with
+        | `Done r -> r
+        | `Transport msg ->
+            if c.addr = None then
+              (* [of_fd] clients own a socket we cannot re-open. *)
+              Error msg
+            else go (n + 1) (min 2000 (backoff * 2)) msg
     end
   in
   go 0 backoff_ms "unreachable"

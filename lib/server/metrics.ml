@@ -59,6 +59,13 @@ let serve_one render fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
+      (* Connections are served inline on the accept thread, so a peer
+         that connects and sends nothing must not pin it (or hang
+         [stop]'s join): time out the read and answer 405. *)
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.
+       with Unix.Unix_error _ -> ());
       let reqline = read_request_line fd in
       match String.split_on_char ' ' (String.trim reqline) with
       | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->

@@ -392,6 +392,56 @@ let test_client_retry_restart () =
              working *)
           ignore (result_of (Client.request c (req 3 (P.Ping 0))))))
 
+(* The harder half of the restart story: the daemon stays down while
+   the client is already retrying, so reconnect itself fails a few
+   times (leaving no usable fd) before the fresh instance comes up.
+   The retry loop must keep backing off through that window instead of
+   raising EBADF on the closed descriptor. *)
+let test_client_retry_daemon_down () =
+  let socket_path = fresh_socket "retry_down" in
+  let start () =
+    let config =
+      { Server.default_config with Server.socket_path; workers = 1 }
+    in
+    let server = Server.create ~config () in
+    let runner = Thread.create (fun () -> Server.run server) () in
+    (server, runner)
+  in
+  let s1, r1 = start () in
+  let c = Client.connect socket_path in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      ignore (result_of (Client.request c (req 1 (P.Ping 0))));
+      Server.shutdown s1;
+      Thread.join r1;
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      (* Retry in the background while nothing is listening: with 30 ms
+         initial backoff, several reconnect attempts fail before the
+         restart below.  Plenty of attempts so the test can't flake on
+         a slow machine. *)
+      let outcome = ref (Error "not run") in
+      let retrier =
+        Thread.create
+          (fun () ->
+            outcome :=
+              Client.request_retry ~attempts:20 ~backoff_ms:30 c
+                (req 2 (P.Ping 0)))
+          ()
+      in
+      Thread.delay 0.15;
+      let s2, r2 = start () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.shutdown s2;
+          Thread.join r2;
+          try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+        (fun () ->
+          Thread.join retrier;
+          ignore (result_of !outcome);
+          (* plain request on the reconnected client keeps working *)
+          ignore (result_of (Client.request c (req 3 (P.Ping 0))))))
+
 let test_head_drain_with_open_session () =
   with_cluster ~n:2 (fun ~head_socket ~head ~workers:_ ->
       let sid = open_session head_socket ~width:4 in
@@ -435,6 +485,8 @@ let suite =
       test_prometheus_sanitize;
     Alcotest.test_case "client retries across a restart" `Quick
       test_client_retry_restart;
+    Alcotest.test_case "client survives reconnects into a down daemon"
+      `Quick test_client_retry_daemon_down;
     Alcotest.test_case "head drains with an open session" `Quick
       test_head_drain_with_open_session;
   ]
